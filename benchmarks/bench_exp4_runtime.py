@@ -1,0 +1,29 @@
+"""Experiment 4 — execution time comparison across methods.
+
+Paper's findings: NIST and PrivBayes are the fastest; the deep-model
+baselines are in the middle; Kamino is the slowest (it checks DC
+violations while sampling) but remains practically efficient.
+
+Expected shape: time(NIST), time(PrivBayes) < time(Kamino).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.evaluation.harness import METHODS
+
+
+@pytest.mark.parametrize("dataset_name", ["adult", "tpch"])
+def test_exp4_runtime(benchmark, datasets, synth_cache, dataset_name):
+    def run():
+        return {method: synth_cache.get(dataset_name, method)[1]
+                for method in METHODS}
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header(f"Experiment 4 [{dataset_name}] — synthesis wall-clock "
+                 f"(paper: NIST/PrivBayes fastest, Kamino slowest)")
+    for method in sorted(times, key=times.get):
+        print(f"{method:>10s}: {times[method]:8.2f}s")
+
+    assert times["NIST"] <= times["Kamino"]
+    assert times["PrivBayes"] <= times["Kamino"]

@@ -1,0 +1,70 @@
+"""Figure 3 — classification accuracy and F1 per method and dataset.
+
+The paper trains the 9-classifier panel per attribute on synthetic
+data, tests on true data, and shows Kamino's box is the closest to the
+Truth reference on most datasets.
+
+Expected shape at bench scale: Truth scores highest; Kamino is at or
+near the top of the synthetic methods.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.evaluation import classification_report
+from repro.evaluation.harness import METHODS
+
+#: Representative targets per dataset (full-attribute sweeps at paper
+#: scale use Dataset.label_attrs).
+TARGETS = {
+    "adult": ["income", "sex", "marital"],
+    "br2000": ["a1", "a8", "a12"],
+    "tax": ["has_child", "marital", "gender"],
+    "tpch": ["c_mktsegment", "o_orderstatus"],
+}
+
+
+@pytest.mark.parametrize("dataset_name", sorted(TARGETS))
+def test_fig3_classification(benchmark, datasets, synth_cache,
+                             dataset_name):
+    dataset = datasets[dataset_name]
+    targets = TARGETS[dataset_name]
+
+    def run():
+        results = {}
+        for method in METHODS:
+            synth = synth_cache.get(dataset_name, method)[0]
+            rows = classification_report(dataset.table, synth,
+                                         targets=targets)
+            results[method] = rows
+        results["Truth"] = classification_report(
+            dataset.table, dataset.table, targets=targets)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header(f"Figure 3 [{dataset_name}] — panel-mean accuracy / F1 "
+                 f"(paper: Kamino closest to Truth)")
+    print(f"{'method':>10s} {'accuracy':>9s} {'f1':>7s}")
+    means = {}
+    for method in METHODS + ["Truth"]:
+        acc = float(np.mean([r["accuracy"] for r in results[method]]))
+        f1 = float(np.mean([r["f1"] for r in results[method]]))
+        means[method] = acc
+        print(f"{method:>10s} {acc:9.3f} {f1:7.3f}")
+
+    assert means["Truth"] == max(means.values())
+    # "Comparable" at bench scale: accuracies cluster within a few
+    # points, so strict rank order is noise.  Kamino must either sit in
+    # the top half of the synthetic methods or trail the best one by at
+    # most 0.08.  (EXPERIMENTS.md discusses why NIST's marginal-based
+    # approach tops the raw panel at tiny n while Kamino alone
+    # preserves the constraints.)
+    ranked = sorted(METHODS, key=lambda m: -means[m])
+    best_synth = max(means[m] for m in METHODS)
+    top_half = ranked.index("Kamino") <= len(ranked) // 2
+    within_margin = means["Kamino"] >= best_synth - 0.08
+    assert top_half or within_margin, (
+        f"Kamino {means['Kamino']:.3f} ranks {ranked.index('Kamino') + 1}"
+        f"/{len(ranked)} and trails best {best_synth:.3f} by more "
+        f"than 0.08")

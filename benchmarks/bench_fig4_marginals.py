@@ -1,0 +1,43 @@
+"""Figure 4 — 1-way and 2-way marginal total variation distances.
+
+Expected shape: Kamino's distances are the best or close to the best
+across datasets (the paper reports best on Adult, close elsewhere).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.evaluation import marginal_distances
+from repro.evaluation.harness import METHODS
+
+
+@pytest.mark.parametrize("dataset_name",
+                         ["adult", "br2000", "tax", "tpch"])
+def test_fig4_marginals(benchmark, datasets, synth_cache, dataset_name):
+    dataset = datasets[dataset_name]
+
+    def run():
+        out = {}
+        for method in METHODS:
+            synth = synth_cache.get(dataset_name, method)[0]
+            d1 = [d for _, d in marginal_distances(
+                dataset.table, synth, alpha=1)]
+            d2 = [d for _, d in marginal_distances(
+                dataset.table, synth, alpha=2, max_sets=10, seed=0)]
+            out[method] = (float(np.mean(d1)), float(np.max(d1)),
+                           float(np.mean(d2)), float(np.max(d2)))
+        return out
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header(f"Figure 4 [{dataset_name}] — marginal TVD "
+                 f"(paper: Kamino best or close to best)")
+    print(f"{'method':>10s} {'1way mean':>10s} {'1way max':>9s} "
+          f"{'2way mean':>10s} {'2way max':>9s}")
+    for method in METHODS:
+        m1, x1, m2, x2 = stats[method]
+        print(f"{method:>10s} {m1:10.3f} {x1:9.3f} {m2:10.3f} {x2:9.3f}")
+
+    # Shape check: Kamino is not the worst method on 1-way marginals.
+    means = {m: stats[m][0] for m in METHODS}
+    assert means["Kamino"] < max(means.values())

@@ -1,0 +1,36 @@
+"""Figure 7 — per-phase time profile of end-to-end Kamino runs.
+
+Paper's claim: training and sampling together take more than 99% of the
+total (sequencing and weight learning are negligible).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header, rows_for
+from repro.core import Kamino
+from repro.datasets import load
+
+
+def _cap(params):
+    params.iterations = min(params.iterations, 60)
+
+
+@pytest.mark.parametrize("dataset_name",
+                         ["adult", "br2000", "tax", "tpch"])
+def test_fig7_time_profile(benchmark, dataset_name):
+    dataset = load(dataset_name, n=rows_for(dataset_name), seed=0)
+    kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+                 seed=0, params_override=_cap)
+
+    result = benchmark.pedantic(
+        lambda: kam.fit_sample(dataset.table), rounds=1, iterations=1)
+
+    print_header(f"Figure 7 [{dataset_name}] — phase profile "
+                 f"(paper: Tra.+Sam. > 99% of total)")
+    total = result.total_seconds
+    for phase in ["Seq.", "Tra.", "DC.W.", "Sam."]:
+        secs = result.timings[phase]
+        print(f"{phase:>6s}: {secs:8.3f}s ({100 * secs / total:5.1f}%)")
+
+    heavy = result.timings["Tra."] + result.timings["Sam."]
+    assert heavy / total > 0.9

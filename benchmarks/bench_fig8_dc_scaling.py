@@ -1,0 +1,62 @@
+"""Figure 8 — scaling the number of input DCs.
+
+Discovers approximate DCs on Adult (standing in for "knowledge from the
+domain expert", as the paper does) and runs Kamino with 2, 8, and 32
+soft DCs.  Paper's claims: task quality degrades only slightly (0.04 at
+128 DCs) while execution time grows roughly linearly, dominated by the
+sampling phase.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import print_header, rows_for
+from repro.constraints import discover_dcs
+from repro.core import Kamino
+from repro.datasets import load
+from repro.evaluation import train_on_synthetic_test_on_true
+
+DC_COUNTS = [2, 8, 32]
+
+
+def _cap(params):
+    params.iterations = min(params.iterations, 40)
+
+
+def test_fig8_dc_scaling(benchmark):
+    dataset = load("adult", n=rows_for("adult"), seed=0)
+    discovered = discover_dcs(dataset.table, max_violation_rate=5.0,
+                              limit=max(DC_COUNTS), sample_size=300,
+                              seed=0)
+    assert len(discovered) >= max(DC_COUNTS), "not enough DCs discovered"
+
+    def run():
+        out = {}
+        for count in DC_COUNTS:
+            kam = Kamino(dataset.relation, discovered[:count],
+                         epsilon=1.0, delta=1e-6, seed=0,
+                         params_override=_cap)
+            out[count] = kam.fit_sample(dataset.table)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_header("Figure 8 — quality and time vs #DCs on Adult "
+                 "(paper: quality ~flat, time grows linearly)")
+    print(f"{'#DCs':>5s} {'panel acc':>10s} {'total s':>8s} {'sam s':>7s}")
+    accs, times = {}, {}
+    for count, result in results.items():
+        # Average several targets: a single attribute's accuracy is too
+        # noisy at bench scale to read the quality-vs-#DCs trend.
+        panel = [train_on_synthetic_test_on_true(
+            dataset.table, result.table, target)["accuracy"]
+            for target in ("income", "sex", "marital", "workclass")]
+        acc = float(np.mean(panel))
+        accs[count] = acc
+        times[count] = result.total_seconds
+        print(f"{count:>5d} {acc:10.3f} {result.total_seconds:8.2f} "
+              f"{result.timings['Sam.']:7.2f}")
+
+    # Quality stays within a modest band while DCs grow 16x.
+    assert abs(accs[max(DC_COUNTS)] - accs[min(DC_COUNTS)]) < 0.2
+    # More DCs cost more sampling time.
+    assert (results[max(DC_COUNTS)].timings["Sam."]
+            >= results[min(DC_COUNTS)].timings["Sam."])

@@ -1,0 +1,48 @@
+"""Table 2 — % of tuple pairs violating each DC, per method.
+
+Paper's claim: Kamino's synthetic instances have (near-)zero violations
+of hard DCs and truth-like rates for soft DCs, while every baseline
+leaves large violation rates (up to 32% on Adult, 99% on Tax).
+
+Expected shape at bench scale: the Kamino column matches the truth
+column (0.0 for hard DCs), every baseline column is far above it.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_header
+from repro.evaluation import dc_violation_report
+from repro.evaluation.harness import METHODS, format_table
+
+
+@pytest.mark.parametrize("dataset_name",
+                         ["adult", "br2000", "tax", "tpch"])
+def test_table2_dc_violations(benchmark, datasets, synth_cache,
+                              dataset_name):
+    dataset = datasets[dataset_name]
+
+    def run():
+        return {method: synth_cache.get(dataset_name, method)[0]
+                for method in METHODS}
+
+    synthetic = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = dc_violation_report(dataset.dcs, dataset.table, synthetic)
+    print_header(f"Table 2 [{dataset_name}] — % violating tuple pairs "
+                 f"(paper: baselines up to 32-99%, Kamino ~= truth)")
+    print(format_table(rows, ["dc", "truth"] + METHODS))
+
+    # The paper's claim is about the overall picture: "the overall
+    # numbers of DC violations on the synthetic instance output by
+    # Kamino are the closest to those on the truth among all
+    # approaches".  Check total |synth - truth| across the dataset's
+    # DCs, and exact preservation for hard DCs.
+    def distance(method):
+        return sum(abs(row[method] - row["truth"]) for row in rows)
+
+    kamino_distance = distance("Kamino")
+    for method in METHODS:
+        if method != "Kamino":
+            assert kamino_distance <= distance(method) + 1e-9
+    for row, dc in zip(rows, dataset.dcs):
+        if dc.hard:
+            assert row["Kamino"] <= row["truth"] + 0.5

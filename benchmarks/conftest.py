@@ -1,0 +1,70 @@
+"""Shared fixtures for the per-table/per-figure benchmark suite.
+
+Scales: each bench runs the real pipeline at a reduced default size so
+the whole suite finishes in minutes.  Set ``REPRO_SCALE`` (a float
+multiplier, default 1.0) to enlarge every workload, e.g.::
+
+    REPRO_SCALE=4 pytest benchmarks/ --benchmark-only
+
+Synthetic instances are cached per (dataset, method, epsilon, seed) so
+benches that share inputs (Table 2, Figures 3/4, Experiment 4) do not
+re-synthesize.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.datasets import load
+from repro.evaluation.harness import run_method
+
+#: Baseline row counts per dataset at REPRO_SCALE=1.
+BASE_ROWS = {"adult": 700, "br2000": 700, "tax": 500, "tpch": 600}
+
+
+def scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def rows_for(name: str) -> int:
+    return int(BASE_ROWS[name] * scale())
+
+
+@pytest.fixture(scope="session")
+def datasets():
+    """All four workloads at bench scale."""
+    return {name: load(name, n=rows_for(name), seed=0)
+            for name in BASE_ROWS}
+
+
+class SynthCache:
+    """Session cache of synthetic instances and their wall-clock."""
+
+    def __init__(self, datasets):
+        self.datasets = datasets
+        self._store: dict = {}
+
+    def get(self, dataset_name: str, method: str, epsilon: float = 1.0,
+            seed: int = 0):
+        """Return (table, seconds) for a method run, synthesizing once."""
+        key = (dataset_name, method, epsilon, seed)
+        if key not in self._store:
+            table, secs = run_method(method, self.datasets[dataset_name],
+                                     epsilon=epsilon, seed=seed)
+            self._store[key] = (table, secs)
+        return self._store[key]
+
+
+@pytest.fixture(scope="session")
+def synth_cache(datasets):
+    return SynthCache(datasets)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

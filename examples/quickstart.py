@@ -1,0 +1,61 @@
+"""Quickstart: synthesize a tiny constrained table with Kamino.
+
+Builds a 3-attribute schema with one functional dependency, generates a
+private "true" instance, runs the end-to-end Kamino pipeline at
+(epsilon=1.5, delta=1e-6), and verifies the synthetic data keeps the
+constraint while tracking the marginals.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.constraints import parse_dc, violating_pair_percentage
+from repro.core import Kamino
+from repro.evaluation import total_variation_distance
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+def make_private_data(n: int = 600, seed: int = 7) -> Table:
+    """A toy HR table: department determines floor, salary rises with
+    seniority."""
+    rng = np.random.default_rng(seed)
+    relation = Relation([
+        Attribute("dept", CategoricalDomain(
+            ["sales", "eng", "hr", "legal"])),
+        Attribute("floor", NumericalDomain(1, 8, integer=True, bins=8)),
+        Attribute("seniority", NumericalDomain(0, 30, integer=True,
+                                               bins=16)),
+    ])
+    dept = rng.integers(0, 4, n)
+    floor = dept * 2 + 1.0                      # FD: dept -> floor
+    seniority = np.clip(rng.exponential(6.0, n), 0, 30).round()
+    return Table(relation, {"dept": dept, "floor": floor,
+                            "seniority": seniority})
+
+
+def main() -> None:
+    table = make_private_data()
+    fd = parse_dc("not(ti.dept == tj.dept and ti.floor != tj.floor)",
+                  name="dept_floor_fd", hard=True, relation=table.relation)
+
+    kamino = Kamino(table.relation, [fd], epsilon=1.5, delta=1e-6, seed=0)
+    result = kamino.fit_sample(table)
+
+    print("schema sequence :", result.sequence)
+    print(f"privacy spent   : epsilon={result.params.achieved_epsilon:.3f} "
+          f"(budget 1.5), alpha={result.params.best_alpha}")
+    print(f"FD violations   : truth "
+          f"{violating_pair_percentage(fd, table):.3f}%  synthetic "
+          f"{violating_pair_percentage(fd, result.table):.3f}%")
+    for attr in table.relation.names:
+        dist = total_variation_distance(table, result.table, (attr,))
+        print(f"1-way TVD {attr:10s}: {dist:.3f}")
+    print("phase timings   :",
+          {k: round(v, 2) for k, v in result.timings.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables `pip install -e .` in offline environments where
+the `wheel` package (needed by the PEP 517 editable path) is absent."""
+from setuptools import setup
+
+setup()

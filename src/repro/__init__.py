@@ -1,0 +1,24 @@
+"""Kamino: constraint-aware differentially private data synthesis.
+
+A from-scratch reproduction of "Kamino: Constraint-Aware Differentially
+Private Data Synthesis" (Ge, Mohapatra, He, Ilyas - VLDB 2021).
+
+Public API highlights
+---------------------
+- :class:`repro.core.Kamino` - the end-to-end synthesizer (Algorithm 1).
+- :mod:`repro.constraints` - denial constraints and violation counting.
+- :mod:`repro.privacy` - Gaussian mechanism, DP-SGD, RDP accountant.
+- :mod:`repro.datasets` - seeded generators mirroring the paper's
+  Adult / BR2000 / Tax / TPC-H workloads.
+- :mod:`repro.baselines` - PrivBayes, PATE-GAN, DP-VAE, NIST-MST.
+- :mod:`repro.evaluation` - the paper's Metrics I-III and the
+  experiment harness regenerating every table and figure.
+- :mod:`repro.io` - schema/DC/dataset persistence (bundles).
+- :class:`repro.privacy.ledger.PrivacyLedger` - budget accounting
+  across repeated releases.
+- :class:`repro.core.growing.GrowingSynthesizer` - the update policy
+  for growing databases (§3.2 / future work).
+- :mod:`repro.cli` - the ``repro-kamino`` command-line interface.
+"""
+
+__version__ = "1.0.0"

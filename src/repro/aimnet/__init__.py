@@ -1,0 +1,25 @@
+"""AimNet-style discriminative sub-models (§2.3 of the paper).
+
+Each conditional probability ``Pr(t[A_j] | t[S_:j])`` of the chain
+decomposition is learned as a discriminative model ``M_{X,y}`` that
+predicts target attribute ``y`` from the context attributes ``X``:
+
+* every context attribute is encoded to a shared d-dimensional space —
+  a learnable lookup table for categorical attributes, the paper's
+  linear/ReLU/linear transform for numerical attributes;
+* an attention layer mixes the context embeddings into a context
+  vector;
+* a prediction head maps the context vector to either a distribution
+  over the target's discrete domain (via dot products with the target's
+  value embeddings) or the (mu, sigma) of a Gaussian for numerical
+  targets.
+
+The :class:`EmbeddingStore` implements Algorithm 2's embedding reuse
+(line 19): encoders trained in earlier sub-models initialise the context
+encoders of later ones.
+"""
+
+from repro.aimnet.model import AimNet
+from repro.aimnet.store import EmbeddingStore
+
+__all__ = ["AimNet", "EmbeddingStore"]

@@ -1,0 +1,52 @@
+"""Shared attribute encoders across sub-models.
+
+Algorithm 2 trains the ``k - 1`` discriminative sub-models *in
+sequence* and "saves the currently trained embeddings of attributes
+[X, y] and reuses them in the initialization of context attributes of
+the next sub-model" (lines 7, 19).  The store realises this by handing
+out one encoder object per attribute: the Embedding trained as a target
+in sub-model ``j`` is the very same object used as a context encoder in
+sub-models ``j+1, ..., k`` — training continues to refine it.
+
+Experiment 10's parallel-training mode simply gives every sub-model a
+fresh store, which removes the reuse (and the sequential dependency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Embedding, NumericEncoder
+
+
+class EmbeddingStore:
+    """Lazily-created, shared per-attribute encoders."""
+
+    def __init__(self, dim: int, rng: np.random.Generator):
+        self.dim = int(dim)
+        self.rng = rng
+        self._encoders: dict[str, object] = {}
+
+    def encoder_for(self, attribute):
+        """Return (creating if needed) the encoder for an attribute.
+
+        Categorical attributes get an :class:`Embedding` over their
+        domain; numerical attributes get a :class:`NumericEncoder` with
+        the public domain bounds.
+        """
+        name = attribute.name
+        if name not in self._encoders:
+            if attribute.is_categorical:
+                self._encoders[name] = Embedding(
+                    attribute.domain.size, self.dim, self.rng, name=name)
+            else:
+                self._encoders[name] = NumericEncoder(
+                    self.dim, self.rng, attribute.domain.low,
+                    attribute.domain.high, name=name)
+        return self._encoders[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._encoders
+
+    def __len__(self) -> int:
+        return len(self._encoders)

@@ -1,0 +1,32 @@
+"""Baseline DP synthesizers and the violation-repair post-processor.
+
+The paper compares Kamino against four state-of-the-art DP data
+synthesizers (§7.1); all are reimplemented here from their original
+papers, at reduced scale:
+
+* :class:`PrivBayes` — Bayesian-network synthesis (Zhang et al. 2014):
+  noisy mutual-information structure search plus Laplace-noised
+  conditional distributions;
+* :class:`PateGan` — a GAN whose discriminator is distilled from a
+  PATE teacher ensemble with noisy vote aggregation (Jordon et al.
+  2019);
+* :class:`DPVae` — a variational auto-encoder trained with DP-SGD,
+  sampled from the latent prior (Chen et al. 2018);
+* :class:`NistMst` — the NIST-challenge winner's measure+infer+sample
+  pipeline (McKenna et al. 2019): Gaussian-noised 1-way and selected
+  2-way marginals fitted with a spanning-tree graphical model;
+* :func:`repair_violations` — the HoloClean-style cleaning step used in
+  Figure 1 to show that post-hoc repair hurts utility.
+
+All synthesizers share the interface
+``fit_sample(table, n=None) -> Table`` and i.i.d.-sample tuples — which
+is precisely why they fail the DC-preservation metric (Table 2).
+"""
+
+from repro.baselines.privbayes import PrivBayes
+from repro.baselines.pategan import PateGan
+from repro.baselines.dpvae import DPVae
+from repro.baselines.nist_mst import NistMst
+from repro.baselines.cleaning import repair_violations
+
+__all__ = ["DPVae", "NistMst", "PateGan", "PrivBayes", "repair_violations"]

@@ -1,0 +1,68 @@
+"""Mixed-type vector encoding shared by the GAN/VAE baselines.
+
+PATE-GAN and DP-VAE "require the input dataset to be encoded into
+numeric vectors" (§7.1).  The encoder maps each categorical attribute
+to a one-hot block and each numerical attribute to a min-max-scaled
+scalar in [0, 1]; decoding samples the categorical blocks (softmax or
+argmax) and rescales the numerics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schema.table import Table
+
+
+class MixedEncoder:
+    """Bidirectional table <-> [0,1]^d matrix encoding."""
+
+    def __init__(self, relation):
+        self.relation = relation
+        self.blocks: list[tuple[str, str, int, int]] = []  # name,kind,lo,hi
+        offset = 0
+        for attr in relation:
+            if attr.is_categorical:
+                width = attr.domain.size
+                self.blocks.append((attr.name, "cat", offset,
+                                    offset + width))
+            else:
+                width = 1
+                self.blocks.append((attr.name, "num", offset,
+                                    offset + width))
+            offset += width
+        self.dim = offset
+
+    def encode(self, table: Table) -> np.ndarray:
+        out = np.zeros((table.n, self.dim))
+        for name, kind, lo, hi in self.blocks:
+            col = table.column(name)
+            if kind == "cat":
+                out[np.arange(table.n), lo + col.astype(np.int64)] = 1.0
+            else:
+                dom = self.relation[name].domain
+                width = max(dom.high - dom.low, 1e-12)
+                out[:, lo] = (col - dom.low) / width
+        return out
+
+    def decode(self, matrix: np.ndarray, rng: np.random.Generator,
+               stochastic: bool = True) -> Table:
+        """Matrix -> table; categorical blocks are sampled (or argmaxed)
+        from their softmax, numerics rescaled and clipped."""
+        n = matrix.shape[0]
+        cols = {}
+        for name, kind, lo, hi in self.blocks:
+            block = matrix[:, lo:hi]
+            if kind == "cat":
+                logits = block - block.max(axis=1, keepdims=True)
+                if stochastic:
+                    gumbel = -np.log(-np.log(rng.random(block.shape)
+                                             + 1e-300) + 1e-300)
+                    cols[name] = np.argmax(logits + gumbel, axis=1)
+                else:
+                    cols[name] = np.argmax(logits, axis=1)
+            else:
+                dom = self.relation[name].domain
+                width = dom.high - dom.low
+                cols[name] = dom.clip(dom.low + block[:, 0] * width)
+        return Table(self.relation, cols, validate=False)

@@ -1,0 +1,166 @@
+"""PATE-GAN (Jordon, Yoon & van der Schaar, ICLR 2019).
+
+A GAN in which the discriminator's privacy comes from PATE distillation:
+
+* ``k`` *teacher* discriminators each train on a disjoint shard of the
+  real data (against current generator output);
+* a *student* discriminator trains only on generator samples, labeled
+  by the teachers' noisy majority vote — the single point where private
+  data influences the released model;
+* the generator trains against the student.
+
+The vote aggregation here uses Gaussian noise accounted with the RDP
+accountant (one vote's sensitivity is 1, since a record affects exactly
+one teacher); the calibration spends the whole (epsilon, delta) budget
+over the planned number of vote queries.  As in the paper's evaluation
+(§7.1), the generator is conditioned on the dataset's smallest-domain
+attribute, whose histogram is taken from the true data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.encoding import MixedEncoder
+from repro.nn.functional import sigmoid
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import bce_with_logits_loss
+from repro.nn.optim import Adam
+from repro.privacy.rdp import calibrate_sgm_sigma
+from repro.schema.table import Table
+
+
+class _MLP:
+    """Tiny two-layer net with backward-to-input support."""
+
+    def __init__(self, d_in, hidden, d_out, rng, name):
+        self.l1 = Linear(d_in, hidden, rng, name=f"{name}.l1")
+        self.act = ReLU()
+        self.l2 = Linear(hidden, d_out, rng, name=f"{name}.l2")
+
+    def parameters(self):
+        return self.l1.parameters() + self.l2.parameters()
+
+    def forward(self, x):
+        return self.l2.forward(self.act.forward(self.l1.forward(x)))
+
+    def backward(self, grad):
+        g = self.l2.backward(grad)
+        g = self.act.backward(g)
+        return self.l1.backward(g)
+
+
+class PateGan:
+    """PATE-distilled GAN synthesizer.
+
+    Parameters
+    ----------
+    epsilon, delta:
+        Privacy budget consumed by the noisy teacher votes.
+    n_teachers:
+        Teacher-ensemble size (shards of the real data).
+    iterations:
+        Outer GAN iterations; each queries the teachers once per student
+        batch row.
+    batch, latent, hidden, lr, seed:
+        The usual knobs.
+    """
+
+    def __init__(self, epsilon: float, delta: float = 1e-6,
+                 n_teachers: int = 5, iterations: int = 120,
+                 batch: int = 32, latent: int = 8, hidden: int = 32,
+                 lr: float = 1e-3, seed: int = 0):
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.n_teachers = n_teachers
+        self.iterations = iterations
+        self.batch = batch
+        self.latent = latent
+        self.hidden = hidden
+        self.lr = lr
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def fit_sample(self, table: Table, n: int | None = None) -> Table:
+        rng = np.random.default_rng(self.seed)
+        n_out = table.n if n is None else int(n)
+        relation = table.relation
+
+        # Conditioning label: smallest-domain attribute (§7.1).
+        label_attr = min((a for a in relation if a.is_categorical),
+                         key=lambda a: a.domain.size, default=None)
+        label_name = label_attr.name if label_attr is not None else None
+        label_size = label_attr.domain.size if label_attr is not None else 0
+        label_hist = None
+        if label_name is not None:
+            counts = np.bincount(table.column(label_name).astype(np.int64),
+                                 minlength=label_size).astype(float)
+            label_hist = counts / counts.sum()
+
+        encoder = MixedEncoder(relation)
+        X = encoder.encode(table)
+        n_rows, dim = X.shape
+
+        gen = _MLP(self.latent + label_size, self.hidden, dim, rng, "gen")
+        teachers = [_MLP(dim, self.hidden, 1, rng, f"teacher{t}")
+                    for t in range(self.n_teachers)]
+        student = _MLP(dim, self.hidden, 1, rng, "student")
+        gen_opt = Adam(gen.parameters(), lr=self.lr)
+        teacher_opts = [Adam(t.parameters(), lr=self.lr) for t in teachers]
+        student_opt = Adam(student.parameters(), lr=self.lr)
+
+        shards = np.array_split(rng.permutation(n_rows), self.n_teachers)
+        vote_queries = self.iterations  # one noisy vote batch per iter
+        vote_sigma = calibrate_sgm_sigma(self.epsilon, self.delta, 1.0,
+                                         vote_queries)
+
+        def generate(m):
+            z = rng.normal(size=(m, self.latent))
+            if label_size:
+                labels = rng.choice(label_size, size=m, p=label_hist)
+                onehot = np.zeros((m, label_size))
+                onehot[np.arange(m), labels] = 1.0
+                z = np.concatenate([z, onehot], axis=1)
+            raw = gen.forward(z)
+            return sigmoid(raw), raw
+
+        for _ in range(self.iterations):
+            fake, _ = generate(self.batch)
+            # Teachers: real shard rows vs current fakes.
+            for teacher, opt, shard in zip(teachers, teacher_opts, shards):
+                if shard.size == 0:
+                    continue
+                real_idx = rng.choice(shard,
+                                      size=min(self.batch, shard.size),
+                                      replace=False)
+                xb = np.concatenate([X[real_idx], fake])
+                yb = np.concatenate([np.ones(real_idx.size),
+                                     np.zeros(fake.shape[0])])
+                opt.zero_grad()
+                logits = teacher.forward(xb)[:, 0]
+                _, grad = bce_with_logits_loss(logits, yb)
+                teacher.backward((grad / xb.shape[0])[:, None])
+                opt.step()
+            # Student: fakes labeled by the noisy teacher vote.
+            votes = np.zeros(fake.shape[0])
+            for teacher in teachers:
+                votes += (teacher.forward(fake)[:, 0] > 0)
+            noisy = votes + rng.normal(0.0, vote_sigma, size=votes.shape)
+            student_labels = (noisy > self.n_teachers / 2).astype(float)
+            student_opt.zero_grad()
+            logits = student.forward(fake)[:, 0]
+            _, grad = bce_with_logits_loss(logits, student_labels)
+            student.backward((grad / fake.shape[0])[:, None])
+            student_opt.step()
+            # Generator: fool the student (non-saturating loss).
+            gen_opt.zero_grad()
+            fake, raw = generate(self.batch)
+            logits = student.forward(fake)[:, 0]
+            _, grad = bce_with_logits_loss(logits, np.ones_like(logits))
+            g_fake = student.backward((grad / fake.shape[0])[:, None])
+            # Through the output sigmoid of the generator.
+            gen.backward(g_fake * fake * (1.0 - fake))
+            gen_opt.step()
+
+        samples, _ = generate(n_out)
+        return encoder.decode(samples, rng)

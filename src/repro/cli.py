@@ -1,0 +1,275 @@
+"""Command-line interface for the Kamino reproduction.
+
+Usage (installed as the ``repro-kamino`` console script, also runnable
+as ``python -m repro.cli``)::
+
+    repro-kamino infer-schema data.csv --out schema.json
+    repro-kamino check bundle_dir/
+    repro-kamino discover bundle_dir/ --limit 16
+    repro-kamino synthesize bundle_dir/ --epsilon 1.0 --out synth_dir/
+    repro-kamino evaluate bundle_dir/ synth_dir/ --alpha 1 --alpha 2
+    repro-kamino ledger ledger.json
+
+A *bundle* is the directory layout of :mod:`repro.io.bundle`
+(``schema.json`` + ``data.csv`` + optional ``dcs.txt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+
+import numpy as np
+
+from repro.constraints.algebra import minimize_dcs
+from repro.constraints.discovery import discover_dcs
+from repro.core.kamino import Kamino
+from repro.constraints.violations import violating_pairs
+from repro.evaluation.marginals import marginal_distances
+from repro.evaluation.violations import dc_violation_report
+from repro.io.bundle import load_bundle, save_bundle
+from repro.io.dc_text import format_dc
+from repro.io.schema_json import relation_to_dict, save_relation
+from repro.privacy.ledger import PrivacyLedger
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+
+
+# ----------------------------------------------------------------------
+# Schema inference
+# ----------------------------------------------------------------------
+def infer_schema(path: str, categorical_threshold: int = 20,
+                 bins: int = 32) -> Relation:
+    """Infer a relation from a headed CSV file.
+
+    A column is numerical when every cell parses as a float *and* it has
+    more than ``categorical_threshold`` distinct values; otherwise it is
+    categorical (distinct values become the domain, sorted).
+    """
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        columns: list[list[str]] = [[] for _ in header]
+        for row in reader:
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}: row with {len(row)} cells, header has "
+                    f"{len(header)}")
+            for i, cell in enumerate(row):
+                columns[i].append(cell)
+    if not columns or not columns[0]:
+        raise ValueError(f"{path}: no data rows")
+
+    attributes = []
+    for name, cells in zip(header, columns):
+        distinct = sorted(set(cells))
+        numeric = True
+        values = []
+        for cell in distinct:
+            try:
+                values.append(float(cell))
+            except ValueError:
+                numeric = False
+                break
+        if numeric and len(distinct) > categorical_threshold:
+            low, high = min(values), max(values)
+            integer = all(v.is_integer() for v in values)
+            domain = NumericalDomain(low, high, integer=integer, bins=bins)
+        else:
+            domain = CategoricalDomain(distinct)
+        attributes.append(Attribute(name, domain))
+    return Relation(attributes)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_infer_schema(args) -> int:
+    relation = infer_schema(args.csv, args.categorical_threshold, args.bins)
+    if args.out:
+        save_relation(relation, args.out)
+        print(f"wrote {args.out}")
+    else:
+        json.dump(relation_to_dict(relation), sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def cmd_check(args) -> int:
+    bundle = load_bundle(args.bundle)
+    if not bundle.dcs:
+        print("bundle has no DCs (dcs.txt missing or empty)")
+        return 0
+    rows = dc_violation_report(bundle.dcs, bundle.table, {})
+    print(f"{'DC':>16s} | {'hard':>4s} | violating pairs %")
+    for dc, row in zip(bundle.dcs, rows):
+        hardness = "hard" if dc.hard else "soft"
+        print(f"{row['dc']:>16s} | {hardness:>4s} | {row['truth']:.4f}")
+        if args.show_rows and row["truth"] > 0:
+            for ids in violating_pairs(dc, bundle.table,
+                                       limit=args.show_rows):
+                cells = [f"row {i}: {bundle.table.decoded_row(i)}"
+                         for i in ids]
+                print("    violation: " + " | ".join(cells))
+    return 0
+
+
+def cmd_discover(args) -> int:
+    bundle = load_bundle(args.bundle)
+    dcs = discover_dcs(bundle.table, max_violation_rate=args.max_rate,
+                       limit=args.limit, seed=args.seed)
+    if args.minimize:
+        dcs = minimize_dcs(dcs)
+    for dc in dcs:
+        hardness = "hard" if dc.hard else "soft"
+        print(f"{dc.name} {hardness}: "
+              f"{format_dc(dc, relation=bundle.relation)}")
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    bundle = load_bundle(args.bundle)
+    epsilon = float("inf") if args.epsilon in ("inf", "none") \
+        else float(args.epsilon)
+    kamino = Kamino(bundle.relation, bundle.dcs, epsilon, delta=args.delta,
+                    seed=args.seed)
+    if args.max_iterations is not None:
+        cap = args.max_iterations
+
+        def override(params, cap=cap):
+            params.iterations = min(params.iterations, cap)
+        kamino.params_override = override
+    result = kamino.fit_sample(bundle.table, n=args.n)
+    save_bundle(args.out, result.table, bundle.dcs)
+    print(f"wrote synthetic bundle to {args.out} "
+          f"(n={result.table.n}, total {result.total_seconds:.1f}s)")
+    if kamino.private:
+        print(f"privacy: epsilon={result.params.achieved_epsilon:.4f} "
+              f"(budget {epsilon}), delta={args.delta:g}, "
+              f"alpha={result.params.best_alpha}")
+    if args.ledger:
+        try:
+            ledger = PrivacyLedger.load(args.ledger)
+        except FileNotFoundError:
+            ledger = PrivacyLedger(args.delta)
+        if kamino.private:
+            ledger.record_kamino(f"synthesize:{args.bundle}", result.params)
+            ledger.save(args.ledger)
+            print(f"ledger {args.ledger}: composed "
+                  f"epsilon={ledger.spent_epsilon():.4f} "
+                  f"over {len(ledger)} releases")
+        else:
+            print("non-private run: nothing recorded in the ledger")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    true_bundle = load_bundle(args.true_bundle)
+    synth_bundle = load_bundle(args.synth_bundle)
+    if true_bundle.relation.names != synth_bundle.relation.names:
+        print("error: bundles have different schemas", file=sys.stderr)
+        return 2
+    if true_bundle.dcs:
+        print("== Metric I: DC violating-pair % (true vs synthetic) ==")
+        rows = dc_violation_report(true_bundle.dcs, true_bundle.table,
+                                   {"synthetic": synth_bundle.table})
+        for row in rows:
+            print(f"  {row['dc']:>16s}: true={row['truth']:.4f}  "
+                  f"synthetic={row['synthetic']:.4f}")
+    for alpha in args.alpha:
+        dists = [d for _, d in marginal_distances(
+            true_bundle.table, synth_bundle.table, alpha=alpha,
+            max_sets=args.max_sets, seed=args.seed)]
+        arr = np.asarray(dists)
+        print(f"== Metric III: {alpha}-way marginal TVD over "
+              f"{arr.size} sets ==")
+        print(f"  mean={arr.mean():.4f}  median={np.median(arr):.4f}  "
+              f"max={arr.max():.4f}")
+    return 0
+
+
+def cmd_ledger(args) -> int:
+    ledger = PrivacyLedger.load(args.ledger)
+    print(ledger.summary())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser wiring
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kamino",
+        description="Constraint-aware differentially private data "
+                    "synthesis (Kamino, VLDB 2021 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("infer-schema",
+                       help="infer schema.json from a raw CSV")
+    p.add_argument("csv")
+    p.add_argument("--out", default=None)
+    p.add_argument("--categorical-threshold", type=int, default=20)
+    p.add_argument("--bins", type=int, default=32)
+    p.set_defaults(fn=cmd_infer_schema)
+
+    p = sub.add_parser("check", help="report DC violations of a bundle")
+    p.add_argument("bundle")
+    p.add_argument("--show-rows", type=int, default=0, metavar="N",
+                   help="print up to N offending row (pair)s per DC")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("discover",
+                       help="discover approximate DCs from a bundle")
+    p.add_argument("bundle")
+    p.add_argument("--limit", type=int, default=16)
+    p.add_argument("--max-rate", type=float, default=5.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--minimize", action="store_true",
+                   help="drop duplicate/trivial/implied constraints")
+    p.set_defaults(fn=cmd_discover)
+
+    p = sub.add_parser("synthesize",
+                       help="run Kamino on a bundle, write a synthetic "
+                            "bundle")
+    p.add_argument("bundle")
+    p.add_argument("--epsilon", default="1.0",
+                   help="privacy budget; 'inf' for non-private")
+    p.add_argument("--delta", type=float, default=1e-6)
+    p.add_argument("--n", type=int, default=None,
+                   help="synthetic rows (default: same as input)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.add_argument("--max-iterations", type=int, default=None,
+                   help="cap DP-SGD iterations (fast runs)")
+    p.add_argument("--ledger", default=None,
+                   help="JSON privacy ledger to append this run to")
+    p.set_defaults(fn=cmd_synthesize)
+
+    p = sub.add_parser("evaluate",
+                       help="compare a synthetic bundle against the truth")
+    p.add_argument("true_bundle")
+    p.add_argument("synth_bundle")
+    p.add_argument("--alpha", type=int, action="append", default=None,
+                   help="marginal order(s); repeatable (default: 1 2)")
+    p.add_argument("--max-sets", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("ledger", help="print a privacy ledger summary")
+    p.add_argument("ledger")
+    p.set_defaults(fn=cmd_ledger)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "alpha", ()) is None:
+        args.alpha = [1, 2]
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

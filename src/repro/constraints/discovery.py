@@ -1,0 +1,94 @@
+"""Approximate denial-constraint discovery.
+
+Experiment 8 of the paper scales the number of input DCs from 2 to 128
+by "discovering approximate DCs to simulate the knowledge from the
+domain expert" (citing Pena et al., VLDB 2019).  This module provides a
+compact discovery routine over two candidate families:
+
+* **FD candidates** ``not(ti.A = tj.A and ti.B != tj.B)`` for every
+  ordered attribute pair (A, B) — approximate functional dependencies;
+* **order candidates** ``not(ti.A > tj.A and ti.B < tj.B)`` for every
+  unordered pair of numerical attributes — monotone co-movement
+  constraints like the paper's cap_gain/cap_loss DC.
+
+Each candidate is scored by its violating-pair rate on a row sample;
+candidates at or below ``max_violation_rate`` are returned sorted by
+rate (cleanest first), capped at ``limit``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.predicate import Operator, Predicate, TUPLE_I, TUPLE_J
+from repro.constraints.violations import violating_pair_percentage
+
+
+def _fd_candidate(a: str, b: str, idx: int) -> DenialConstraint:
+    return DenialConstraint(
+        f"fd_{idx}_{a}_to_{b}",
+        [Predicate(TUPLE_I, a, Operator.EQ, TUPLE_J, a),
+         Predicate(TUPLE_I, b, Operator.NE, TUPLE_J, b)],
+        hard=False,
+    )
+
+
+def _order_candidate(a: str, b: str, idx: int) -> DenialConstraint:
+    return DenialConstraint(
+        f"ord_{idx}_{a}_{b}",
+        [Predicate(TUPLE_I, a, Operator.GT, TUPLE_J, a),
+         Predicate(TUPLE_I, b, Operator.LT, TUPLE_J, b)],
+        hard=False,
+    )
+
+
+def discover_dcs(table, max_violation_rate: float = 5.0, limit: int = 128,
+                 sample_size: int = 500, seed: int = 0) -> list[DenialConstraint]:
+    """Discover approximate DCs from an instance.
+
+    Parameters
+    ----------
+    table:
+        The instance to mine.  (In the paper's pipeline this is run on
+        *public or already-released* data; it is an input-preparation
+        step for Experiment 8, not part of the private mechanism.)
+    max_violation_rate:
+        Keep candidates whose violating-pair percentage on the sample is
+        at most this threshold.
+    limit:
+        Maximum number of DCs returned.
+    sample_size:
+        Rows sampled for scoring (O(sample^2) per candidate).
+    seed:
+        RNG seed for the row sample.
+    """
+    rng = np.random.default_rng(seed)
+    if table.n > sample_size:
+        idx = rng.choice(table.n, size=sample_size, replace=False)
+        sample = table.take(idx)
+    else:
+        sample = table
+
+    names = table.relation.names
+    numeric = [a.name for a in table.relation if a.is_numerical]
+    candidates: list[DenialConstraint] = []
+    idx = 0
+    for a in names:
+        for b in names:
+            if a == b:
+                continue
+            candidates.append(_fd_candidate(a, b, idx))
+            idx += 1
+    for p, a in enumerate(numeric):
+        for b in numeric[p + 1:]:
+            candidates.append(_order_candidate(a, b, idx))
+            idx += 1
+
+    scored = []
+    for dc in candidates:
+        rate = violating_pair_percentage(dc, sample)
+        if rate <= max_violation_rate:
+            scored.append((rate, dc))
+    scored.sort(key=lambda pair: (pair[0], pair[1].name))
+    return [dc for _, dc in scored[:limit]]

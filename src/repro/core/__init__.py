@@ -1,0 +1,41 @@
+"""Kamino core: the paper's primary contribution.
+
+* :mod:`repro.core.sequencing` — Algorithm 4 (constraint-aware
+  attribute sequencing) and the §4.3 domain-size optimisations;
+* :mod:`repro.core.params` — Algorithm 6 (privacy parameter search);
+* :mod:`repro.core.training` — Algorithm 2 (private learning of the
+  tuple probability chain);
+* :mod:`repro.core.weights` — Algorithm 5 (private DC-weight learning);
+* :mod:`repro.core.sampling` — Algorithm 3 (constraint-aware instance
+  sampling), the constrained MCMC refinement, the accept-reject
+  alternative (Experiment 6), and the hard-FD lookup fast path
+  (Experiment 10);
+* :mod:`repro.core.kamino` — Algorithm 1 (end-to-end orchestration).
+"""
+
+from repro.core.sequencing import sequence_attributes, group_small_domains
+from repro.core.params import KaminoParams, search_dp_params
+from repro.core.training import ProbModel, train_model
+from repro.core.weights import learn_dc_weights
+from repro.core.sampling import ar_sample, synthesize
+from repro.core.kamino import Kamino, KaminoResult
+from repro.core.growing import GrowingSynthesizer, UpdateDecision
+from repro.core.model_io import load_model, save_model
+
+__all__ = [
+    "GrowingSynthesizer",
+    "Kamino",
+    "KaminoParams",
+    "KaminoResult",
+    "ProbModel",
+    "ar_sample",
+    "group_small_domains",
+    "learn_dc_weights",
+    "load_model",
+    "save_model",
+    "search_dp_params",
+    "sequence_attributes",
+    "synthesize",
+    "train_model",
+    "UpdateDecision",
+]

@@ -1,0 +1,264 @@
+"""Algorithm 1 — the end-to-end Kamino pipeline.
+
+    S   <- Sequencing(R, D, Phi)               (Algorithm 4, no budget)
+    Psi <- SearchDParas(eps, delta, D, S)      (Algorithm 6, no budget)
+    M   <- TrainModel(D*, S, D, Psi)           (Algorithm 2, DP)
+    W   <- LearnWeight(D*, Phi, S, M, Psi)     (Algorithm 5, DP)
+    D'  <- Synthesize(S, M, Phi, D, W)         (Algorithm 3, post-proc)
+
+:class:`Kamino` wires the pieces together, applies the §4.3 structural
+optimisations (hyper-attribute grouping, large-domain histogram
+fallback), records the per-phase wall-clock profile that Figure 7
+reports, and returns a :class:`KaminoResult`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hyper import HyperSpec
+from repro.core.params import KaminoParams, search_dp_params
+from repro.core.sampling import ar_sample, synthesize
+from repro.core.sequencing import (
+    group_small_domains,
+    large_domain_attributes,
+    sequence_attributes,
+)
+from repro.core.training import ProbModel, train_model
+from repro.core.weights import learn_dc_weights
+from repro.schema.table import Table
+
+
+@dataclass
+class KaminoResult:
+    """Everything a run produces, for inspection and evaluation."""
+
+    table: Table
+    sequence: list[str]
+    params: KaminoParams
+    weights: dict[str, float]
+    model: ProbModel = None
+    #: Per-phase seconds: Seq. / Tra. / Vio.+DC.W. / Sam. (Figure 7).
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+
+class Kamino:
+    """Constraint-aware differentially private data synthesizer.
+
+    Parameters
+    ----------
+    relation:
+        Schema of the private instance.
+    dcs:
+        Denial constraints (hardness flags set); constants should be in
+        raw domain values — they are bound to the schema here.
+    epsilon, delta:
+        The end-to-end privacy budget.  ``epsilon=math.inf`` runs the
+        non-private configuration (Figure 6's rightmost points).
+    seed:
+        Randomness seed for the whole pipeline.
+    group_max_domain:
+        Hyper-attribute grouping cap (``None`` disables grouping).
+    large_domain_threshold:
+        Domain size beyond which an attribute is modeled by an
+        independent histogram (``None`` disables the fallback).
+    use_fd_lookup:
+        Hard-FD lookup fast path in the sampler (Experiment 10).
+    parallel_training:
+        Train sub-models without embedding reuse (Experiment 10).
+    params_override:
+        Callable mutating the searched :class:`KaminoParams` before
+        training (e.g. to cap iterations in small-scale benchmarks);
+        the accountant re-checks the budget after the override.
+    random_sequence:
+        Ablation switch (Experiment 5's "RandSequence"): replace
+        Algorithm 4 with a seeded random permutation.
+    constraint_aware_sampling:
+        Ablation switch (Experiment 5's "RandSampling"): when False the
+        sampler ignores the DCs and draws i.i.d. tuples.
+    weight_estimator:
+        Soft-DC weight estimator: ``"matrix"`` (default, the paper's
+        literal Algorithm 5) or ``"capped"`` (log-odds over capped
+        violation indicators — better when the budget affords an
+        informative release); see :mod:`repro.core.weights`.
+    """
+
+    def __init__(self, relation, dcs, epsilon: float, delta: float = 1e-6,
+                 seed: int = 0, group_max_domain: int | None = None,
+                 large_domain_threshold: int | None = 1000,
+                 use_fd_lookup: bool = False,
+                 parallel_training: bool = False,
+                 params_override=None,
+                 random_sequence: bool = False,
+                 constraint_aware_sampling: bool = True,
+                 weight_estimator: str = "matrix"):
+        self.relation = relation
+        self.dcs = [dc.bind(relation) for dc in dcs]
+        self.epsilon = float(epsilon)
+        self.delta = float(delta)
+        self.seed = seed
+        self.group_max_domain = group_max_domain
+        self.large_domain_threshold = large_domain_threshold
+        self.use_fd_lookup = use_fd_lookup
+        self.parallel_training = parallel_training
+        self.params_override = params_override
+        self.random_sequence = random_sequence
+        self.constraint_aware_sampling = constraint_aware_sampling
+        self.weight_estimator = weight_estimator
+
+    @property
+    def private(self) -> bool:
+        return math.isfinite(self.epsilon)
+
+    # ------------------------------------------------------------------
+    def fit_sample(self, table: Table, n: int | None = None,
+                   weights: dict[str, float] | None = None) -> KaminoResult:
+        """Run the full pipeline on the private instance ``table``.
+
+        ``n`` defaults to the input size; pass known DC ``weights`` to
+        skip Algorithm 5 (the paper's "known weights" setting of §4).
+        """
+        rng = np.random.default_rng(self.seed)
+        n_out = table.n if n is None else int(n)
+        timings: dict[str, float] = {}
+
+        # -- Sequencing (Algorithm 4) + structure ----------------------
+        start = time.perf_counter()
+        if self.random_sequence:
+            sequence = list(self.relation.names)
+            np.random.default_rng(self.seed + 17).shuffle(sequence)
+        else:
+            sequence = sequence_attributes(self.relation, self.dcs)
+        independent = self._independent_attrs(sequence)
+        hyper = self._build_hyper(sequence, independent)
+        timings["Seq."] = time.perf_counter() - start
+
+        # -- Parameter search (Algorithm 6) ----------------------------
+        learn_weights = weights is None and any(
+            not dc.hard for dc in self.dcs)
+        n_hist = 1 + len(independent)
+        n_submodels = max(len(hyper.working_sequence) - 1 - len(independent),
+                          0)
+        if self.private:
+            params = search_dp_params(
+                self.epsilon, self.delta, hyper.working_relation,
+                hyper.working_sequence, table.n,
+                learn_weights=learn_weights, n_hist=n_hist,
+                n_submodels=n_submodels)
+        else:
+            params = KaminoParams(
+                epsilon=math.inf, delta=self.delta, n=table.n,
+                k=len(hyper.working_sequence),
+                iterations=max(1, (2 * table.n) // 32),
+                learn_weights=learn_weights, n_hist=n_hist,
+                n_submodels=n_submodels)
+        if self.params_override is not None:
+            self.params_override(params)
+            if self.private:
+                achieved, alpha = params.accounted_epsilon()
+                if achieved > self.epsilon * (1 + 1e-9):
+                    raise ValueError(
+                        f"params_override broke the budget: "
+                        f"{achieved:.4f} > {self.epsilon}")
+                params.achieved_epsilon = achieved
+                params.best_alpha = alpha
+
+        # -- Model training (Algorithm 2) ------------------------------
+        start = time.perf_counter()
+        working = hyper.encode_table(table)
+        model = train_model(
+            working, hyper.working_relation, hyper.working_sequence, params,
+            rng, independent_attrs=independent,
+            parallel=self.parallel_training, private=self.private)
+        timings["Tra."] = time.perf_counter() - start
+
+        # -- DC weights (Algorithm 5) -----------------------------------
+        start = time.perf_counter()
+        if weights is None:
+            weights = learn_dc_weights(table, self.dcs, sequence, params,
+                                       rng, private=self.private,
+                                       estimator=self.weight_estimator)
+        else:
+            weights = dict(weights)
+            for dc in self.dcs:
+                weights.setdefault(dc.name, math.inf if dc.hard
+                                   else params.weight_init)
+        timings["DC.W."] = time.perf_counter() - start
+
+        # -- Sampling (Algorithm 3, post-processing) --------------------
+        start = time.perf_counter()
+        sampled_dcs = self.dcs if self.constraint_aware_sampling else []
+        synthetic = synthesize(model, self.relation, sampled_dcs, weights,
+                               n_out, params, rng, hyper=hyper,
+                               use_fd_lookup=self.use_fd_lookup)
+        timings["Sam."] = time.perf_counter() - start
+
+        return KaminoResult(table=synthetic, sequence=sequence,
+                            params=params, weights=weights, model=model,
+                            timings=timings)
+
+    def fit_sample_ar(self, table: Table, n: int | None = None,
+                      weights: dict[str, float] | None = None,
+                      max_tries: int = 300) -> KaminoResult:
+        """The Experiment 6 variant: accept-reject sampling instead of
+        direct target-distribution sampling."""
+        result = self._fit_only(table, weights)
+        rng = np.random.default_rng(self.seed + 1)
+        n_out = table.n if n is None else int(n)
+        start = time.perf_counter()
+        synthetic = ar_sample(result.model, self.relation, self.dcs,
+                              result.weights, n_out, result.params, rng,
+                              hyper=result._hyper, max_tries=max_tries)
+        result.timings["Sam."] = time.perf_counter() - start
+        result.table = synthetic
+        return result
+
+    # ------------------------------------------------------------------
+    def _fit_only(self, table: Table, weights) -> KaminoResult:
+        """Train everything but do not sample (used by the AR variant)."""
+        saved = self.use_fd_lookup
+        result = None
+        try:
+            self.use_fd_lookup = False
+            result = self.fit_sample(table, n=1, weights=weights)
+        finally:
+            self.use_fd_lookup = saved
+        sequence = result.sequence
+        independent = self._independent_attrs(sequence)
+        result._hyper = self._build_hyper(sequence, independent)
+        return result
+
+    def _independent_attrs(self, sequence) -> list[str]:
+        if self.large_domain_threshold is None:
+            return []
+        independent = large_domain_attributes(
+            self.relation, self.large_domain_threshold)
+        # The first attribute is already histogram-modeled.
+        return [a for a in independent if a != sequence[0]]
+
+    def _build_hyper(self, sequence, independent) -> HyperSpec:
+        if self.group_max_domain is None:
+            return HyperSpec.trivial(self.relation, sequence)
+        # Independent attributes must stay singleton (they are sampled
+        # from standalone histograms, not sub-models).
+        groups = []
+        for group in group_small_domains(self.relation, sequence,
+                                         self.group_max_domain):
+            if any(a in independent for a in group) and len(group) > 1:
+                groups.extend([[a] for a in group])
+            else:
+                groups.append(group)
+        return HyperSpec(self.relation, groups)
+
+
+def make_kamino(relation, dcs, epsilon: float, **kwargs) -> Kamino:
+    """Convenience constructor mirroring the paper's defaults."""
+    return Kamino(relation, dcs, epsilon, **kwargs)

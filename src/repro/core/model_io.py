@@ -1,0 +1,164 @@
+"""Persistence for trained probabilistic data models.
+
+Training is the expensive, privacy-consuming phase; sampling is free
+post-processing.  Saving the fitted :class:`~repro.core.training.ProbModel`
+(plus the DC weights and the sampling-relevant parameters) lets a data
+owner synthesize more instances later — different sizes, different
+seeds — without touching the private data or the budget again::
+
+    result = kamino.fit_sample(private_table)
+    save_model("model.npz", result.model, result.weights, result.params)
+    ...
+    model, weights, params = load_model("model.npz", relation)
+    more = synthesize(model, relation, dcs, weights, 10_000, params, rng)
+
+Format: one ``.npz`` holding every parameter array (namespaced per
+sub-model, so parallel-trained models with per-model encoders round-trip
+too) plus a JSON metadata blob.  The relation is *not* stored — it is
+public schema the caller already persists via :mod:`repro.io`; passing a
+mismatching relation fails fast.
+
+Scope: models over the plain schema (no hyper-attribute grouping — the
+grouped working relation is an internal artifact; re-run Kamino for
+those).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from repro.aimnet import AimNet, EmbeddingStore
+from repro.core.params import KaminoParams
+from repro.core.training import HistogramModel, ProbModel
+from repro.schema.quantize import Quantizer
+
+FORMAT_TAG = "repro.model/1"
+
+#: KaminoParams fields the sampler reads; everything else is training
+#: state that has already been consumed.
+_SAMPLING_PARAMS = ("epsilon", "delta", "num_candidates", "mcmc_m",
+                    "quant_bins", "n", "k")
+
+
+def _histogram_meta(hist: HistogramModel) -> dict:
+    return {
+        "attr": hist.attribute.name,
+        "quantized": hist.quantizer is not None,
+        "q": hist.quantizer.q if hist.quantizer is not None else None,
+    }
+
+
+def _rebuild_histogram(relation, meta: dict,
+                       probs: np.ndarray) -> HistogramModel:
+    attribute = relation[meta["attr"]]
+    quantizer = (Quantizer(attribute.domain, meta["q"])
+                 if meta["quantized"] else None)
+    return HistogramModel(attribute, probs, quantizer)
+
+
+def _store_is_shared(model: ProbModel) -> bool:
+    """True if sub-models share encoder objects (sequential training)."""
+    seen: dict[int, str] = {}
+    for target, sub in model.submodels.items():
+        for attr, encoder in sub.encoders.items():
+            owner = seen.setdefault(id(encoder), target)
+            if owner != target:
+                return True
+    return len(model.submodels) <= 1
+
+
+def save_model(path: str, model: ProbModel, weights: dict,
+               params: KaminoParams) -> None:
+    """Write the model, DC weights, and sampling parameters to ``path``."""
+    if any("+" in w for w in model.sequence):
+        raise ValueError(
+            "hyper-attribute models are not persistable; re-run with "
+            "group_max_domain=None")
+    arrays: dict[str, np.ndarray] = {"first.probs": model.first.probs}
+    meta = {
+        "format": FORMAT_TAG,
+        "dim": next(iter(model.submodels.values())).dim
+               if model.submodels else 0,
+        "sequence": model.sequence,
+        "schema": model.relation.names,
+        "targets": {t: model.context_attrs[t] for t in model.submodels},
+        "first": _histogram_meta(model.first),
+        "independent": {},
+        "shared_store": _store_is_shared(model),
+        "weights": {name: ("inf" if math.isinf(w) else float(w))
+                    for name, w in weights.items()},
+        "params": {f: getattr(params, f) for f in _SAMPLING_PARAMS},
+    }
+    for attr, hist in model.independent.items():
+        meta["independent"][attr] = _histogram_meta(hist)
+        arrays[f"indep.{attr}.probs"] = hist.probs
+    for target, sub in model.submodels.items():
+        for p in sub.parameters():
+            arrays[f"{target}::{p.name}"] = p.value
+    arrays["meta.json"] = np.array(json.dumps(meta))
+    np.savez(path, **arrays)
+
+
+def load_model(path: str, relation
+               ) -> tuple[ProbModel, dict, KaminoParams]:
+    """Read back ``(model, weights, params)`` saved by :func:`save_model`.
+
+    ``relation`` must be the same public schema the model was trained
+    over (attribute names are checked; domains are trusted, as they are
+    part of the same public schema file).
+    """
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta.json"]))
+        if meta.get("format") != FORMAT_TAG:
+            raise ValueError(
+                f"unsupported model format {meta.get('format')!r}")
+        if sorted(meta["schema"]) != sorted(relation.names):
+            raise ValueError(
+                f"schema mismatch: model was trained over "
+                f"{sorted(meta['schema'])}, got {sorted(relation.names)}")
+        arrays = {key: data[key] for key in data.files}
+
+    first = _rebuild_histogram(relation, meta["first"],
+                               arrays["first.probs"])
+    independent = {
+        attr: _rebuild_histogram(relation, h_meta,
+                                 arrays[f"indep.{attr}.probs"])
+        for attr, h_meta in meta["independent"].items()
+    }
+
+    rng = np.random.default_rng(0)  # values are overwritten below
+    shared = EmbeddingStore(meta["dim"], rng) if meta["shared_store"] \
+        else None
+    submodels: dict[str, AimNet] = {}
+    context_attrs: dict[str, list[str]] = {}
+    # Rebuild in sequence order so shared encoders are created in the
+    # same order as during training.
+    for target in meta["sequence"]:
+        if target not in meta["targets"]:
+            continue
+        context = list(meta["targets"][target])
+        store = shared if shared is not None \
+            else EmbeddingStore(meta["dim"], rng)
+        sub = AimNet(relation, context, target, meta["dim"], rng,
+                     store=store)
+        for p in sub.parameters():
+            key = f"{target}::{p.name}"
+            saved = arrays[key]
+            if saved.shape != p.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: saved {saved.shape}, "
+                    f"model {p.value.shape}")
+            p.value[...] = saved
+        submodels[target] = sub
+        context_attrs[target] = context
+
+    weights = {name: (math.inf if w == "inf" else float(w))
+               for name, w in meta["weights"].items()}
+    params = KaminoParams(
+        **{f: meta["params"][f] for f in _SAMPLING_PARAMS})
+    model = ProbModel(relation, meta["sequence"], first, submodels,
+                      independent, context_attrs)
+    return model, weights, params

@@ -1,0 +1,161 @@
+"""Adult-style census workload (15 attributes, 2 hard DCs).
+
+Mirrors the UCI Adult dataset of the paper's Table 1:
+
+* ``phi_a1``: ``not(ti.edu = tj.edu and ti.edu_num != tj.edu_num)`` —
+  the FD ``edu -> edu_num``, satisfied exactly because ``edu_num`` is a
+  deterministic function of ``edu``;
+* ``phi_a2``: ``not(ti.cap_gain > tj.cap_gain and ti.cap_loss <
+  tj.cap_loss)`` — satisfied exactly because ``cap_loss`` is a
+  nondecreasing step function of ``cap_gain``.
+
+The generative process builds correlated attributes through a latent
+"socio-economic" score so that the classification tasks of Metric II
+have real signal (income depends on education/age/hours, occupation on
+workclass, and so on).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.parser import parse_dc
+from repro.datasets.base import Dataset
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+
+_EDU_LEVELS = [
+    "Preschool", "1st-4th", "5th-6th", "7th-8th", "9th", "10th", "11th",
+    "12th", "HS-grad", "Some-college", "Assoc-voc", "Assoc-acdm",
+    "Bachelors", "Masters", "Prof-school", "Doctorate",
+]
+#: The hard FD edu -> edu_num: one number per education level.
+_EDU_NUM = {level: i + 1 for i, level in enumerate(_EDU_LEVELS)}
+
+_WORKCLASSES = ["Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov",
+                "Local-gov", "State-gov", "Without-pay", "Never-worked",
+                "Unknown"]
+_MARITAL = ["Married", "Divorced", "Never-married", "Separated", "Widowed",
+            "Spouse-absent", "AF-spouse"]
+_OCCUPATIONS = ["Tech", "Craft", "Sales", "Exec", "Prof", "Clerical",
+                "Service", "Machine-op", "Transport", "Farming", "Cleaners",
+                "Protective", "Armed-Forces", "Priv-house", "Unknown"]
+_RELATIONSHIPS = ["Husband", "Wife", "Own-child", "Not-in-family",
+                  "Other-relative", "Unmarried"]
+_RACES = ["White", "Black", "Asian", "Amer-Indian", "Other"]
+_SEXES = ["Male", "Female"]
+_COUNTRIES = ["United-States", "Mexico", "Philippines", "Germany", "Canada",
+              "India", "England", "Cuba", "China", "Other"]
+_INCOMES = ["<=50K", ">50K"]
+
+#: cap_loss as a nondecreasing step function of cap_gain (guarantees
+#: zero phi_a2 violations, matching the paper's "Truth = 0.0").
+_GAIN_STEPS = np.array([0, 2000, 5000, 10000, 30000, 100000])
+_LOSS_STEPS = np.array([0, 100, 400, 900, 1500, 1900])
+
+
+def _cap_loss_of(gain: np.ndarray) -> np.ndarray:
+    idx = np.searchsorted(_GAIN_STEPS, gain, side="right") - 1
+    return _LOSS_STEPS[np.clip(idx, 0, len(_LOSS_STEPS) - 1)].astype(float)
+
+
+def adult_relation() -> Relation:
+    """The 15-attribute Adult-style schema."""
+    return Relation([
+        Attribute("age", NumericalDomain(17, 90, integer=True, bins=24)),
+        Attribute("workclass", CategoricalDomain(_WORKCLASSES)),
+        Attribute("fnlwgt", NumericalDomain(1e4, 1.5e6, bins=32)),
+        Attribute("edu", CategoricalDomain(_EDU_LEVELS)),
+        Attribute("edu_num", NumericalDomain(1, 16, integer=True, bins=16)),
+        Attribute("marital", CategoricalDomain(_MARITAL)),
+        Attribute("occupation", CategoricalDomain(_OCCUPATIONS)),
+        Attribute("relationship", CategoricalDomain(_RELATIONSHIPS)),
+        Attribute("race", CategoricalDomain(_RACES)),
+        Attribute("sex", CategoricalDomain(_SEXES)),
+        Attribute("cap_gain", NumericalDomain(0, 100000, bins=32)),
+        Attribute("cap_loss", NumericalDomain(0, 1900, bins=16)),
+        Attribute("hours", NumericalDomain(1, 99, integer=True, bins=20)),
+        Attribute("country", CategoricalDomain(_COUNTRIES)),
+        Attribute("income", CategoricalDomain(_INCOMES)),
+    ])
+
+
+def adult_dcs(relation: Relation):
+    """Table 1's two hard DCs, bound to the schema."""
+    return [
+        parse_dc("not(ti.edu == tj.edu and ti.edu_num != tj.edu_num)",
+                 name="phi_a1", hard=True, relation=relation),
+        parse_dc("not(ti.cap_gain > tj.cap_gain and ti.cap_loss < "
+                 "tj.cap_loss)", name="phi_a2", hard=True, relation=relation),
+    ]
+
+
+def adult(n: int = 1000, seed: int = 0) -> Dataset:
+    """Generate an Adult-style instance of ``n`` rows."""
+    rng = np.random.default_rng(seed)
+    relation = adult_relation()
+
+    # Latent socio-economic score drives most correlations.
+    latent = rng.normal(0.0, 1.0, size=n)
+
+    age = np.clip(np.rint(38 + 12 * rng.normal(size=n) + 4 * latent), 17, 90)
+
+    edu_idx = np.clip(
+        np.rint(8 + 3.0 * latent + 1.5 * rng.normal(size=n)),
+        0, len(_EDU_LEVELS) - 1).astype(np.int64)
+    edu_num = np.array([_EDU_NUM[_EDU_LEVELS[i]] for i in edu_idx],
+                       dtype=float)
+
+    workclass = rng.choice(
+        len(_WORKCLASSES), size=n,
+        p=[0.70, 0.08, 0.04, 0.03, 0.06, 0.04, 0.01, 0.01, 0.03])
+    # Occupation correlates with workclass and education.
+    occ_base = (edu_idx // 4 + workclass) % len(_OCCUPATIONS)
+    occupation = (occ_base + rng.integers(0, 3, size=n)) % len(_OCCUPATIONS)
+
+    sex = (rng.random(n) < 0.33).astype(np.int64)  # 0 Male, 1 Female
+    married = (rng.random(n) < 0.55 + 0.1 * np.tanh(latent)).astype(bool)
+    marital = np.where(married, 0, rng.choice([1, 2, 3, 4, 5, 6], size=n,
+                       p=[0.25, 0.55, 0.06, 0.08, 0.04, 0.02]))
+    relationship = np.where(
+        married & (sex == 0), 0,
+        np.where(married & (sex == 1), 1,
+                 rng.choice([2, 3, 4, 5], size=n)))
+
+    race = rng.choice(len(_RACES), size=n, p=[0.78, 0.11, 0.06, 0.02, 0.03])
+    country = rng.choice(len(_COUNTRIES), size=n,
+                         p=[0.85, 0.03, 0.02, 0.015, 0.015, 0.015, 0.015,
+                            0.01, 0.01, 0.02])
+
+    hours = np.clip(np.rint(40 + 8 * latent + 8 * rng.normal(size=n)), 1, 99)
+    fnlwgt = np.clip(np.exp(12.0 + 0.5 * rng.normal(size=n)), 1e4, 1.5e6)
+
+    # Capital gain: zero-heavy, right tail grows with the latent score.
+    has_gain = rng.random(n) < (0.05 + 0.08 * (latent > 0.8))
+    cap_gain = np.where(
+        has_gain, np.clip(np.exp(8.0 + 0.9 * np.abs(latent)
+                                 + 0.6 * rng.normal(size=n)), 0, 100000),
+        0.0)
+    cap_loss = _cap_loss_of(cap_gain)
+
+    income_score = (0.8 * latent + 0.25 * (edu_num - 9)
+                    + 0.02 * (hours - 40) + 0.01 * (age - 38)
+                    + 0.4 * married - 0.3 * sex)
+    income = (income_score + 0.8 * rng.normal(size=n) > 0.9).astype(np.int64)
+
+    table = Table(relation, {
+        "age": age, "workclass": workclass, "fnlwgt": fnlwgt,
+        "edu": edu_idx, "edu_num": edu_num, "marital": marital,
+        "occupation": occupation, "relationship": relationship,
+        "race": race, "sex": sex, "cap_gain": cap_gain,
+        "cap_loss": cap_loss, "hours": hours, "country": country,
+        "income": income,
+    })
+    return Dataset(
+        name="adult", table=table, dcs=adult_dcs(relation),
+        notes="Seeded synthetic mirror of UCI Adult (Table 1 row 1).",
+        label_attrs=["income", "sex", "marital", "workclass", "edu",
+                     "occupation", "relationship", "race", "country",
+                     "age", "hours", "edu_num"],
+    )

@@ -1,0 +1,146 @@
+"""Tax-style workload (12 attributes, 6 hard DCs, one huge domain).
+
+Mirrors the Tax dataset of Table 1: a very large ``zip`` domain
+(exercising the §4.3 independent-histogram fallback), FDs
+``zip -> city``, ``zip -> state``, ``areacode -> state``, two
+conditional FDs on exemptions, and the per-state salary/rate
+monotonicity DC.  All six DCs hold exactly by construction:
+
+* each zip code belongs to one (city, state) via fixed lookup tables;
+* each areacode belongs to one state;
+* ``child_exemp`` is a deterministic function of (state, has_child) and
+  ``single_exemp`` of (state, marital);
+* ``rate`` is a deterministic nondecreasing bracket function of salary
+  plus a per-state offset, so within a state higher salary never gets a
+  lower rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.parser import parse_dc
+from repro.datasets.base import Dataset
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+
+_N_STATES = 50
+_N_ZIPS = 2000          # large domain -> independent-histogram fallback
+_N_CITIES = 400
+_N_AREACODES = 200
+_MARITAL = ["single", "married", "divorced", "widowed"]
+_GENDERS = ["M", "F"]
+_OCCUPATIONS = [f"occ{i}" for i in range(10)]
+
+_SALARY_BRACKETS = np.array([0, 20000, 50000, 90000, 150000, 250000])
+_BRACKET_RATES = np.array([0.0, 2.0, 4.0, 6.0, 8.0, 10.0])
+
+
+def _rate_of(salary: np.ndarray, state: np.ndarray) -> np.ndarray:
+    """Nondecreasing bracket rate plus a small per-state offset."""
+    idx = np.searchsorted(_SALARY_BRACKETS, salary, side="right") - 1
+    idx = np.clip(idx, 0, len(_BRACKET_RATES) - 1)
+    return _BRACKET_RATES[idx] + (state % 5) * 0.1
+
+
+def tax_relation() -> Relation:
+    return Relation([
+        Attribute("zip", CategoricalDomain([f"z{i:04d}"
+                                            for i in range(_N_ZIPS)])),
+        Attribute("city", CategoricalDomain([f"city{i}"
+                                             for i in range(_N_CITIES)])),
+        Attribute("state", CategoricalDomain([f"st{i:02d}"
+                                              for i in range(_N_STATES)])),
+        Attribute("areacode", CategoricalDomain(
+            [f"ac{i:03d}" for i in range(_N_AREACODES)])),
+        Attribute("has_child", CategoricalDomain(["no", "yes"])),
+        Attribute("child_exemp", NumericalDomain(0, 4000, integer=True,
+                                                 bins=16)),
+        Attribute("marital", CategoricalDomain(_MARITAL)),
+        Attribute("single_exemp", NumericalDomain(0, 3000, integer=True,
+                                                  bins=16)),
+        Attribute("salary", NumericalDomain(5000, 250000, bins=32)),
+        Attribute("rate", NumericalDomain(0.0, 11.0, bins=23)),
+        Attribute("gender", CategoricalDomain(_GENDERS)),
+        Attribute("occupation", CategoricalDomain(_OCCUPATIONS)),
+    ])
+
+
+def tax_dcs(relation: Relation):
+    """Table 1's six hard Tax DCs."""
+    texts = {
+        "phi_t1": "not(ti.zip == tj.zip and ti.city != tj.city)",
+        "phi_t2": "not(ti.areacode == tj.areacode and ti.state != tj.state)",
+        "phi_t3": "not(ti.zip == tj.zip and ti.state != tj.state)",
+        "phi_t4": ("not(ti.state == tj.state and ti.has_child == "
+                   "tj.has_child and ti.child_exemp != tj.child_exemp)"),
+        "phi_t5": ("not(ti.state == tj.state and ti.marital == tj.marital "
+                   "and ti.single_exemp != tj.single_exemp)"),
+        "phi_t6": ("not(ti.state == tj.state and ti.salary > tj.salary "
+                   "and ti.rate < tj.rate)"),
+    }
+    return [parse_dc(text, name=name, hard=True, relation=relation)
+            for name, text in texts.items()]
+
+
+def tax(n: int = 1000, seed: int = 0) -> Dataset:
+    """Generate a Tax-style instance of ``n`` rows."""
+    rng = np.random.default_rng(seed)
+    relation = tax_relation()
+
+    # Fixed geography: zip -> (city, state), areacode -> state.
+    geo_rng = np.random.default_rng(12345)  # schema-level, not per-seed
+    zip_state = geo_rng.integers(0, _N_STATES, size=_N_ZIPS)
+    zip_city = (zip_state * (_N_CITIES // _N_STATES)
+                + geo_rng.integers(0, _N_CITIES // _N_STATES, size=_N_ZIPS))
+    area_state = geo_rng.integers(0, _N_STATES, size=_N_AREACODES)
+    # Guarantee every state owns at least one areacode (areacode i is
+    # pinned to state i for i < 50), keeping areacode -> state an FD.
+    area_state[:_N_STATES] = np.arange(_N_STATES)
+    # Per-state exemption tables (deterministic -> the CFDs hold).
+    child_table = geo_rng.integers(0, 9, size=(_N_STATES, 2)) * 500
+    single_table = geo_rng.integers(0, 7, size=(_N_STATES, 4)) * 500
+
+    # Population skew: a few zips dominate, as real zips do.
+    zip_weights = geo_rng.pareto(1.5, size=_N_ZIPS) + 0.05
+    zip_probs = zip_weights / zip_weights.sum()
+
+    zips = rng.choice(_N_ZIPS, size=n, p=zip_probs)
+    state = zip_state[zips]
+    city = zip_city[zips]
+    # Pick an areacode consistent with the state where one exists.
+    state_areacodes = [np.flatnonzero(area_state == s)
+                       for s in range(_N_STATES)]
+    areacode = np.array(
+        [rng.choice(state_areacodes[s]) for s in state], dtype=np.int64)
+
+    latent = rng.normal(0.0, 1.0, size=n)
+    has_child = (rng.random(n) < 0.45).astype(np.int64)
+    marital = rng.choice(4, size=n, p=[0.35, 0.45, 0.15, 0.05])
+    child_exemp = child_table[state, has_child].astype(float)
+    single_exemp = single_table[state, marital].astype(float)
+
+    salary = np.clip(np.exp(10.6 + 0.55 * latent + 0.25
+                            * rng.normal(size=n)), 5000, 250000)
+    rate = _rate_of(salary, state)
+
+    gender = (rng.random(n) < 0.5).astype(np.int64)
+    occupation = np.clip(np.rint(4.5 + 2.0 * latent
+                                 + 1.5 * rng.normal(size=n)),
+                         0, 9).astype(np.int64)
+
+    table = Table(relation, {
+        "zip": zips, "city": city, "state": state, "areacode": areacode,
+        "has_child": has_child, "child_exemp": child_exemp,
+        "marital": marital, "single_exemp": single_exemp,
+        "salary": salary, "rate": rate, "gender": gender,
+        "occupation": occupation,
+    })
+    return Dataset(
+        name="tax", table=table, dcs=tax_dcs(relation),
+        notes="Seeded synthetic mirror of Tax (Table 1 row 3); large zip "
+              "domain exercises the independent-histogram fallback.",
+        label_attrs=["has_child", "marital", "gender", "occupation",
+                     "salary", "rate"],
+    )

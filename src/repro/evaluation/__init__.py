@@ -1,0 +1,49 @@
+"""The paper's three utility metrics and the experiment harness.
+
+* Metric I  — DC violations: % of violating tuple pairs (§7.1).
+* Metric II — model training: 9-classifier panel per attribute,
+  trained on synthetic, tested on true (accuracy + F1).
+* Metric III — alpha-way marginals: total variation distance between
+  synthetic and true marginal vectors.
+
+:mod:`repro.evaluation.harness` wires methods x datasets x metrics into
+the rows each benchmark prints.
+"""
+
+from repro.evaluation.violations import dc_violation_report
+from repro.evaluation.marginals import (
+    marginal_distances,
+    total_variation_distance,
+)
+from repro.evaluation.model_training import (
+    classification_report,
+    train_on_synthetic_test_on_true,
+)
+from repro.evaluation.compare import compare_methods
+from repro.evaluation.report import (
+    ClaimCheck,
+    ExperimentReport,
+    ReportCollection,
+    markdown_table,
+)
+from repro.evaluation.harness import (
+    METHODS,
+    make_synthesizer,
+    run_method,
+)
+
+__all__ = [
+    "ClaimCheck",
+    "ExperimentReport",
+    "METHODS",
+    "ReportCollection",
+    "classification_report",
+    "compare_methods",
+    "dc_violation_report",
+    "make_synthesizer",
+    "marginal_distances",
+    "markdown_table",
+    "run_method",
+    "total_variation_distance",
+    "train_on_synthetic_test_on_true",
+]

@@ -1,0 +1,109 @@
+"""One-call method comparison.
+
+:func:`compare_methods` runs any subset of the registered synthesizers
+on a :class:`~repro.datasets.base.Dataset` and evaluates all three of
+the paper's metrics, returning a
+:class:`~repro.evaluation.report.ReportCollection` ready to print or
+save as Markdown — the programmatic equivalent of "run the paper's
+evaluation on *my* data".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.violations import violating_pair_percentage
+from repro.evaluation.harness import METHODS, run_method
+from repro.evaluation.marginals import marginal_distances
+from repro.evaluation.model_training import classification_report
+from repro.evaluation.report import ReportCollection
+
+
+def compare_methods(dataset, methods=None, epsilon: float = 1.0,
+                    delta: float = 1e-6, seed: int = 0,
+                    classify: bool = False, classify_targets=None,
+                    max_marginal_sets: int = 20,
+                    fast: bool = True) -> ReportCollection:
+    """Synthesize with each method and evaluate Metrics I-III.
+
+    Parameters
+    ----------
+    dataset:
+        The workload (table + DCs + schema).
+    methods:
+        Method names from the harness registry (default: all five).
+    epsilon, delta, seed, fast:
+        Forwarded to :func:`~repro.evaluation.harness.run_method`.
+    classify:
+        Also run the (slow) Metric II classifier panel.
+    classify_targets:
+        Target attributes for Metric II (default: the dataset's
+        ``label_attrs`` or its first three attributes).
+    max_marginal_sets:
+        Cap on the number of 2-way attribute pairs evaluated.
+    """
+    methods = list(methods) if methods is not None else list(METHODS)
+    collection = ReportCollection(
+        f"Method comparison on {dataset.name}",
+        preamble=(f"n={dataset.n}, k={dataset.k}, epsilon={epsilon:g}, "
+                  f"delta={delta:g}, seed={seed}."))
+
+    synthetic = {}
+    timing = collection.new("Runtime", "synthesis wall-clock seconds")
+    for method in methods:
+        table, seconds = run_method(method, dataset, epsilon, delta,
+                                    seed=seed, fast=fast)
+        synthetic[method] = table
+        timing.add_row(method=method, seconds=seconds)
+
+    if dataset.dcs:
+        violations = collection.new(
+            "Metric I", "% of violating tuple pairs per DC")
+        for dc in dataset.dcs:
+            row = {"dc": dc.name,
+                   "truth": violating_pair_percentage(dc, dataset.table)}
+            for method in methods:
+                row[method] = violating_pair_percentage(
+                    dc, synthetic[method])
+            violations.add_row(**row)
+        hard = [dc for dc in dataset.dcs if dc.hard]
+        if hard and "Kamino" in methods:
+            worst = max(violating_pair_percentage(dc, synthetic["Kamino"])
+                        for dc in hard)
+            violations.check(
+                "Kamino preserves the hard DCs (< 0.5% violating pairs)",
+                worst < 0.5, f"worst hard-DC rate {worst:.3f}%")
+
+    marginals = collection.new(
+        "Metric III", "marginal total variation distance (mean over "
+                      "attribute sets)")
+    for method in methods:
+        row = {"method": method}
+        for alpha in (1, 2):
+            dists = [d for _, d in marginal_distances(
+                dataset.table, synthetic[method], alpha=alpha,
+                max_sets=max_marginal_sets, seed=seed)]
+            row[f"{alpha}-way"] = float(np.mean(dists))
+        marginals.add_row(**row)
+
+    if classify:
+        targets = classify_targets
+        if targets is None:
+            targets = dataset.label_attrs or dataset.relation.names[:3]
+        panel = collection.new(
+            "Metric II", "classifier panel accuracy/F1 "
+                         "(train synthetic, test true)")
+        for method in methods:
+            rows = classification_report(dataset.table, synthetic[method],
+                                         targets=targets)
+            panel.add_row(
+                method=method,
+                accuracy=float(np.mean([r["accuracy"] for r in rows])),
+                f1=float(np.mean([r["f1"] for r in rows])))
+        truth_rows = classification_report(dataset.table, dataset.table,
+                                           targets=targets)
+        panel.add_row(
+            method="Truth",
+            accuracy=float(np.mean([r["accuracy"] for r in truth_rows])),
+            f1=float(np.mean([r["f1"] for r in truth_rows])))
+    return collection

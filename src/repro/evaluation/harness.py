@@ -1,0 +1,97 @@
+"""Method registry and experiment runner.
+
+Every benchmark (one per paper table/figure) goes through
+:func:`run_method`, which builds the named synthesizer at the requested
+privacy budget and returns its synthetic instance plus wall-clock time.
+``fast=True`` applies the reduced-scale settings used by the bench
+suite (documented in DESIGN.md: shapes are scale-stable; the paper's
+server-scale settings are reproduced by the same code with
+``fast=False``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.baselines import DPVae, NistMst, PateGan, PrivBayes
+from repro.core import Kamino
+from repro.datasets.base import Dataset
+from repro.schema.table import Table
+
+#: Methods in the paper's reporting order.
+METHODS = ["DP-VAE", "NIST", "PrivBayes", "PATE-GAN", "Kamino"]
+
+
+def _fast_kamino_override(params) -> None:
+    """Bench-scale caps on the searched parameters."""
+    params.iterations = min(params.iterations, 60)
+    params.embed_dim = min(params.embed_dim, 12)
+
+
+def make_synthesizer(name: str, dataset: Dataset, epsilon: float,
+                     delta: float = 1e-6, seed: int = 0,
+                     fast: bool = True, **kwargs):
+    """Construct a synthesizer with a uniform fit_sample interface.
+
+    For Kamino the returned object is a closure over the dataset's DCs;
+    the baselines ignore constraints entirely.
+    """
+    if name == "Kamino":
+        overrides = {}
+        if fast:
+            overrides["params_override"] = kwargs.pop(
+                "params_override", _fast_kamino_override)
+        kam = Kamino(dataset.relation, dataset.dcs, epsilon, delta,
+                     seed=seed, **overrides, **kwargs)
+
+        class _KaminoAdapter:
+            def fit_sample(self, table, n=None):
+                return kam.fit_sample(table, n=n).table
+        adapter = _KaminoAdapter()
+        adapter.kamino = kam
+        return adapter
+    if not math.isfinite(epsilon):
+        # Baselines' non-private mode: a huge finite budget (their code
+        # paths need a numeric epsilon).
+        epsilon = 1e6
+    if name == "PrivBayes":
+        return PrivBayes(epsilon, delta, seed=seed, **kwargs)
+    if name == "PATE-GAN":
+        iters = 60 if fast else 400
+        return PateGan(epsilon, delta, seed=seed, iterations=iters,
+                       **kwargs)
+    if name == "DP-VAE":
+        iters = 80 if fast else 600
+        return DPVae(epsilon, delta, seed=seed, iterations=iters, **kwargs)
+    if name == "NIST":
+        return NistMst(epsilon, delta, seed=seed, **kwargs)
+    raise KeyError(f"unknown method {name!r}; choose from {METHODS}")
+
+
+def run_method(name: str, dataset: Dataset, epsilon: float,
+               delta: float = 1e-6, seed: int = 0, n: int | None = None,
+               fast: bool = True, **kwargs) -> tuple[Table, float]:
+    """Synthesize with one method; returns (table, seconds)."""
+    synthesizer = make_synthesizer(name, dataset, epsilon, delta, seed,
+                                   fast, **kwargs)
+    start = time.perf_counter()
+    table = synthesizer.fit_sample(dataset.table, n=n)
+    return table, time.perf_counter() - start
+
+
+def format_table(rows: list[dict], columns: list[str],
+                 precision: int = 3) -> str:
+    """Render report rows as an aligned text table."""
+    header = " | ".join(f"{c:>12s}" for c in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>12.{precision}f}")
+            else:
+                cells.append(f"{str(value):>12s}")
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)

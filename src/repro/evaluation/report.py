@@ -1,0 +1,134 @@
+"""Markdown experiment reports.
+
+The bench suite prints paper-vs-measured rows to stdout; this module
+turns the same data into Markdown sections so EXPERIMENTS.md (and any
+user-run report) is generated, not hand-maintained.  The central object
+is :class:`ExperimentReport`: a named experiment accumulating rows,
+paper-claim checks, and free-form notes, rendered with
+:meth:`to_markdown`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _format_cell(value, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def markdown_table(rows: list[dict], columns: list[str],
+                   precision: int = 3) -> str:
+    """Render rows (dicts) as a GitHub-flavoured Markdown table."""
+    if not columns:
+        raise ValueError("need at least one column")
+    head = "| " + " | ".join(columns) + " |"
+    sep = "|" + "|".join(["---"] * len(columns)) + "|"
+    body = []
+    for row in rows:
+        cells = [_format_cell(row.get(c, ""), precision) for c in columns]
+        body.append("| " + " | ".join(cells) + " |")
+    return "\n".join([head, sep] + body)
+
+
+@dataclass
+class ClaimCheck:
+    """One qualitative paper claim and whether the measurement holds it."""
+
+    claim: str
+    holds: bool
+    detail: str = ""
+
+    def to_markdown(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"- **{mark}**: {self.claim}{suffix}"
+
+
+@dataclass
+class ExperimentReport:
+    """A single experiment (paper table or figure) report section.
+
+    Parameters
+    ----------
+    exp_id:
+        Paper artifact id, e.g. ``"Table 2"`` or ``"Figure 6"``.
+    title:
+        Short description of what the experiment measures.
+    """
+
+    exp_id: str
+    title: str
+    columns: list[str] = field(default_factory=list)
+    rows: list[dict] = field(default_factory=list)
+    claims: list[ClaimCheck] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, **cells) -> None:
+        """Append one measurement row; new keys extend the column list."""
+        for key in cells:
+            if key not in self.columns:
+                self.columns.append(key)
+        self.rows.append(cells)
+
+    def check(self, claim: str, holds: bool, detail: str = "") -> bool:
+        """Record a paper-claim verification; returns ``holds``."""
+        self.claims.append(ClaimCheck(claim, bool(holds), detail))
+        return bool(holds)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def to_markdown(self) -> str:
+        parts = [f"### {self.exp_id} — {self.title}", ""]
+        if self.rows:
+            parts += [markdown_table(self.rows, self.columns,
+                                     self.precision), ""]
+        if self.claims:
+            parts += [c.to_markdown() for c in self.claims] + [""]
+        for note in self.notes:
+            parts += [f"> {note}", ""]
+        return "\n".join(parts).rstrip() + "\n"
+
+
+@dataclass
+class ReportCollection:
+    """All experiment sections, rendered as one Markdown document."""
+
+    title: str
+    preamble: str = ""
+    reports: list[ExperimentReport] = field(default_factory=list)
+
+    def new(self, exp_id: str, title: str, **kwargs) -> ExperimentReport:
+        report = ExperimentReport(exp_id, title, **kwargs)
+        self.reports.append(report)
+        return report
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(r.all_claims_hold for r in self.reports)
+
+    def to_markdown(self) -> str:
+        parts = [f"# {self.title}", ""]
+        if self.preamble:
+            parts += [self.preamble, ""]
+        total = sum(len(r.claims) for r in self.reports)
+        held = sum(1 for r in self.reports for c in r.claims if c.holds)
+        if total:
+            parts += [f"**Claim checks: {held}/{total} hold.**", ""]
+        for report in self.reports:
+            parts += [report.to_markdown(), ""]
+        return "\n".join(parts).rstrip() + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_markdown())

@@ -1,0 +1,23 @@
+"""Metric I — denial-constraint violations (Table 2)."""
+
+from __future__ import annotations
+
+from repro.constraints.violations import violating_pair_percentage
+
+
+def dc_violation_report(dcs, true_table, synthetic_tables: dict
+                        ) -> list[dict]:
+    """Rows of Table 2: per DC, the violating-pair percentage in the
+    truth and in each method's synthetic instance.
+
+    ``synthetic_tables`` maps method name -> Table.  Returns a list of
+    dicts with keys ``dc``, ``truth``, and one key per method.
+    """
+    rows = []
+    for dc in dcs:
+        row = {"dc": dc.name,
+               "truth": violating_pair_percentage(dc, true_table)}
+        for method, table in synthetic_tables.items():
+            row[method] = violating_pair_percentage(dc, table)
+        rows.append(row)
+    return rows

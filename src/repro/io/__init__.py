@@ -1,0 +1,39 @@
+"""Persistence formats for schemas, constraints, and dataset bundles.
+
+Kamino's inputs are a database instance, its schema (with domains), and
+a set of denial constraints.  This package gives each of those a stable
+on-disk form so a synthesis run is reproducible from files alone:
+
+* :mod:`repro.io.schema_json` — relation/domain <-> JSON;
+* :mod:`repro.io.dc_text` — denial constraints <-> the textual grammar
+  of :mod:`repro.constraints.parser`, one constraint per line;
+* :mod:`repro.io.bundle` — a dataset directory (``schema.json`` +
+  ``data.csv`` + ``dcs.txt``) loaded and saved as one unit.
+"""
+
+from repro.io.bundle import DatasetBundle, load_bundle, save_bundle
+from repro.io.dc_text import format_dc, format_predicate, load_dcs, save_dcs
+from repro.io.schema_json import (
+    domain_from_dict,
+    domain_to_dict,
+    load_relation,
+    relation_from_dict,
+    relation_to_dict,
+    save_relation,
+)
+
+__all__ = [
+    "DatasetBundle",
+    "domain_from_dict",
+    "domain_to_dict",
+    "format_dc",
+    "format_predicate",
+    "load_bundle",
+    "load_dcs",
+    "load_relation",
+    "relation_from_dict",
+    "relation_to_dict",
+    "save_bundle",
+    "save_dcs",
+    "save_relation",
+]

@@ -1,0 +1,126 @@
+"""Dataset bundles: a directory holding data + schema + constraints.
+
+A bundle is the unit a data owner hands to Kamino::
+
+    mydata/
+      schema.json   # relation (attribute order, domains)
+      data.csv      # decoded rows, header = attribute names
+      dcs.txt       # denial constraints (may be absent)
+
+:func:`save_bundle` / :func:`load_bundle` round-trip a
+:class:`DatasetBundle`; the CLI's ``synthesize`` command consumes this
+layout directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+
+from repro.constraints.dc import DenialConstraint
+from repro.io.dc_text import load_dcs, save_dcs
+from repro.io.schema_json import load_relation, save_relation
+from repro.schema.relation import Relation
+from repro.schema.table import Table
+
+SCHEMA_FILE = "schema.json"
+DATA_FILE = "data.csv"
+DCS_FILE = "dcs.txt"
+
+
+@dataclass
+class DatasetBundle:
+    """A table plus its constraints, as loaded from a bundle directory."""
+
+    relation: Relation
+    table: Table
+    dcs: list[DenialConstraint] = field(default_factory=list)
+
+    @property
+    def n(self) -> int:
+        return self.table.n
+
+
+def _coerce_categorical(domain, cell: str):
+    """Map a CSV string cell back into a categorical domain value.
+
+    CSV stores everything as text; domains may hold ints or floats (the
+    BR2000 generator uses integer category labels).  Try the raw string
+    first, then int/float readings.
+    """
+    if domain.contains(cell):
+        return cell
+    try:
+        as_int = int(cell)
+    except ValueError:
+        pass
+    else:
+        if domain.contains(as_int):
+            return as_int
+    try:
+        as_float = float(cell)
+    except ValueError:
+        pass
+    else:
+        if domain.contains(as_float):
+            return as_float
+    raise ValueError(f"cell {cell!r} not in domain {domain!r}")
+
+
+def read_table_csv(relation: Relation, path: str) -> Table:
+    """Read a decoded-values CSV into a table.
+
+    More forgiving than :meth:`Table.from_csv`: categorical cells are
+    coerced (string -> int -> float) until they match the domain, so
+    domains with non-string values round-trip.
+    """
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        if header != relation.names:
+            raise ValueError(
+                f"CSV header {header} does not match schema {relation.names}"
+            )
+        rows = []
+        for raw in reader:
+            if len(raw) != relation.arity:
+                raise ValueError(
+                    f"{path}: row {len(rows) + 2} has {len(raw)} cells, "
+                    f"expected {relation.arity}"
+                )
+            row = []
+            for attr, cell in zip(relation, raw):
+                if attr.is_categorical:
+                    row.append(_coerce_categorical(attr.domain, cell))
+                else:
+                    row.append(float(cell))
+            rows.append(row)
+    return Table.from_rows(relation, rows)
+
+
+def save_bundle(directory: str, table: Table, dcs=()) -> None:
+    """Write ``schema.json``, ``data.csv``, and (if any DCs) ``dcs.txt``."""
+    os.makedirs(directory, exist_ok=True)
+    save_relation(table.relation, os.path.join(directory, SCHEMA_FILE))
+    table.to_csv(os.path.join(directory, DATA_FILE))
+    dcs = list(dcs)
+    if dcs:
+        save_dcs(dcs, os.path.join(directory, DCS_FILE),
+                 relation=table.relation)
+
+
+def load_bundle(directory: str) -> DatasetBundle:
+    """Load a bundle directory written by :func:`save_bundle`."""
+    schema_path = os.path.join(directory, SCHEMA_FILE)
+    data_path = os.path.join(directory, DATA_FILE)
+    if not os.path.exists(schema_path):
+        raise FileNotFoundError(f"missing {SCHEMA_FILE} in {directory}")
+    if not os.path.exists(data_path):
+        raise FileNotFoundError(f"missing {DATA_FILE} in {directory}")
+    relation = load_relation(schema_path)
+    table = read_table_csv(relation, data_path)
+    dcs_path = os.path.join(directory, DCS_FILE)
+    dcs = load_dcs(dcs_path, relation=relation) if os.path.exists(dcs_path) \
+        else []
+    return DatasetBundle(relation=relation, table=table, dcs=dcs)

@@ -1,0 +1,91 @@
+"""JSON serialization of relations and domains.
+
+The schema (attribute names, domains, and public bounds) is part of the
+DP threat model's public knowledge, so persisting it alongside synthetic
+data leaks nothing.  The format is versioned to allow evolution::
+
+    {
+      "format": "repro.schema/1",
+      "attributes": [
+        {"name": "age", "domain": {"kind": "numerical", "low": 17.0,
+                                   "high": 90.0, "integer": true,
+                                   "bins": 32}},
+        {"name": "edu", "domain": {"kind": "categorical",
+                                   "values": ["Bachelors", "HS-grad"]}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.schema.domain import CategoricalDomain, Domain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+
+FORMAT_TAG = "repro.schema/1"
+
+
+def domain_to_dict(domain: Domain) -> dict:
+    """Serialize a domain to a JSON-compatible dict."""
+    if domain.is_categorical:
+        return {"kind": "categorical", "values": list(domain.values)}
+    return {
+        "kind": "numerical",
+        "low": domain.low,
+        "high": domain.high,
+        "integer": domain.integer,
+        "bins": domain.bins,
+    }
+
+
+def domain_from_dict(data: dict) -> Domain:
+    """Inverse of :func:`domain_to_dict`."""
+    kind = data.get("kind")
+    if kind == "categorical":
+        return CategoricalDomain(data["values"])
+    if kind == "numerical":
+        return NumericalDomain(
+            data["low"], data["high"],
+            integer=data.get("integer", False),
+            bins=data.get("bins", 32),
+        )
+    raise ValueError(f"unknown domain kind {kind!r}")
+
+
+def relation_to_dict(relation: Relation) -> dict:
+    """Serialize a relation (ordered attributes + domains) to a dict."""
+    return {
+        "format": FORMAT_TAG,
+        "attributes": [
+            {"name": attr.name, "domain": domain_to_dict(attr.domain)}
+            for attr in relation
+        ],
+    }
+
+
+def relation_from_dict(data: dict) -> Relation:
+    """Inverse of :func:`relation_to_dict`."""
+    tag = data.get("format")
+    if tag != FORMAT_TAG:
+        raise ValueError(
+            f"unsupported schema format {tag!r}; expected {FORMAT_TAG!r}"
+        )
+    attributes = [
+        Attribute(entry["name"], domain_from_dict(entry["domain"]))
+        for entry in data["attributes"]
+    ]
+    return Relation(attributes)
+
+
+def save_relation(relation: Relation, path: str) -> None:
+    """Write a relation to a JSON file."""
+    with open(path, "w") as f:
+        json.dump(relation_to_dict(relation), f, indent=2)
+        f.write("\n")
+
+
+def load_relation(path: str) -> Relation:
+    """Read a relation from a JSON file."""
+    with open(path) as f:
+        return relation_from_dict(json.load(f))

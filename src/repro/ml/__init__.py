@@ -1,0 +1,58 @@
+"""Classifier panel for the evaluation's Metric II.
+
+The paper trains nine standard classifiers (scikit-learn + XGBoost) on
+synthetic data and tests them on held-out true data.  None of those
+libraries exist in this environment, so this package implements the
+whole panel in numpy:
+
+LogisticRegression, AdaBoost, GradientBoost, XGBoost (second-order
+boosting), RandomForest, BernoulliNB, DecisionTree, Bagging, and MLP —
+all binary classifiers over one-hot + standardized features, plus
+accuracy and F1 metrics.
+
+Every classifier follows the same minimal protocol::
+
+    clf = SomeClassifier(seed=0)
+    clf.fit(X, y)            # X: (n, d) float64, y: (n,) in {0, 1}
+    yhat = clf.predict(X)    # (n,) in {0, 1}
+"""
+
+from repro.ml.features import FeatureEncoder, binarize_target
+from repro.ml.metrics import accuracy_score, f1_score
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import BernoulliNB
+from repro.ml.tree import DecisionTree, RegressionTree
+from repro.ml.forest import Bagging, RandomForest
+from repro.ml.boosting import AdaBoost, GradientBoost, XGBoost
+from repro.ml.mlp import MLPClassifier
+
+#: The paper's nine-model panel (§7.1 Metric II), by name.
+CLASSIFIER_PANEL = {
+    "LogisticRegression": LogisticRegression,
+    "AdaBoost": AdaBoost,
+    "GradientBoost": GradientBoost,
+    "XGBoost": XGBoost,
+    "RandomForest": RandomForest,
+    "BernoulliNB": BernoulliNB,
+    "DecisionTree": DecisionTree,
+    "Bagging": Bagging,
+    "MLP": MLPClassifier,
+}
+
+__all__ = [
+    "AdaBoost",
+    "Bagging",
+    "BernoulliNB",
+    "CLASSIFIER_PANEL",
+    "DecisionTree",
+    "FeatureEncoder",
+    "GradientBoost",
+    "LogisticRegression",
+    "MLPClassifier",
+    "RandomForest",
+    "RegressionTree",
+    "XGBoost",
+    "accuracy_score",
+    "binarize_target",
+    "f1_score",
+]

@@ -1,0 +1,121 @@
+"""Boosted ensembles: AdaBoost, gradient boosting, and an XGBoost-style
+second-order booster."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import sigmoid
+from repro.ml.tree import DecisionTree, RegressionTree
+
+
+class AdaBoost:
+    """SAMME AdaBoost over depth-1 decision stumps."""
+
+    def __init__(self, n_estimators: int = 30, seed: int = 0):
+        self.n_estimators = n_estimators
+        self.seed = seed
+        self._stumps: list[DecisionTree] = []
+        self._alphas: list[float] = []
+
+    def fit(self, X, y) -> "AdaBoost":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = X.shape[0]
+        w = np.full(n, 1.0 / n)
+        self._stumps, self._alphas = [], []
+        for e in range(self.n_estimators):
+            stump = DecisionTree(max_depth=1, min_samples_leaf=1,
+                                 seed=self.seed + e)
+            stump.fit(X, y, sample_weight=w)
+            pred = stump.predict(X)
+            err = float(w[pred != y].sum())
+            if err >= 0.5:
+                break
+            err = max(err, 1e-10)
+            alpha = 0.5 * np.log((1 - err) / err)
+            self._stumps.append(stump)
+            self._alphas.append(alpha)
+            signs = np.where(pred == y, -1.0, 1.0)
+            w = w * np.exp(alpha * signs)
+            w /= w.sum()
+            if err < 1e-9:
+                break
+        if not self._stumps:
+            # All stumps were worse than chance: constant majority vote.
+            majority = DecisionTree(max_depth=1, seed=self.seed)
+            majority.fit(X, y)
+            self._stumps = [majority]
+            self._alphas = [1.0]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._stumps:
+            raise RuntimeError("fit() before predict()")
+        score = np.zeros(np.asarray(X).shape[0])
+        for stump, alpha in zip(self._stumps, self._alphas):
+            score += alpha * (2.0 * stump.predict(X) - 1.0)
+        return (score >= 0).astype(np.int64)
+
+
+class _LogisticBooster:
+    """Shared logic of gradient boosting on the logistic loss."""
+
+    def __init__(self, n_estimators: int, lr: float, max_depth: int,
+                 lam: float, seed: int):
+        self.n_estimators = n_estimators
+        self.lr = lr
+        self.max_depth = max_depth
+        self.lam = lam
+        self.seed = seed
+        self._trees: list[RegressionTree] = []
+        self._bias = 0.0
+        self._second_order = False
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rate = float(np.clip(y.mean(), 1e-6, 1 - 1e-6))
+        self._bias = float(np.log(rate / (1 - rate)))
+        margin = np.full(X.shape[0], self._bias)
+        self._trees = []
+        for e in range(self.n_estimators):
+            p = sigmoid(margin)
+            grad = p - y
+            hess = p * (1 - p) if self._second_order else None
+            tree = RegressionTree(max_depth=self.max_depth, lam=self.lam,
+                                  seed=self.seed + e)
+            tree.fit(X, grad, hess)
+            margin = margin + self.lr * tree.predict(X)
+            self._trees.append(tree)
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("fit() before predict()")
+        margin = np.full(np.asarray(X).shape[0], self._bias)
+        for tree in self._trees:
+            margin = margin + self.lr * tree.predict(X)
+        return margin
+
+    def predict(self, X) -> np.ndarray:
+        return (self.decision_function(X) >= 0).astype(np.int64)
+
+
+class GradientBoost(_LogisticBooster):
+    """First-order gradient boosting (unit hessian, no regularisation)."""
+
+    def __init__(self, n_estimators: int = 30, lr: float = 0.3,
+                 max_depth: int = 3, seed: int = 0):
+        super().__init__(n_estimators, lr, max_depth, lam=1e-6, seed=seed)
+        self._second_order = False
+
+
+class XGBoost(_LogisticBooster):
+    """Second-order boosting with hessian leaf weights and L2 lambda —
+    the core of the XGBoost algorithm (Chen & Guestrin 2016)."""
+
+    def __init__(self, n_estimators: int = 30, lr: float = 0.3,
+                 max_depth: int = 3, lam: float = 1.0, seed: int = 0):
+        super().__init__(n_estimators, lr, max_depth, lam=lam, seed=seed)
+        self._second_order = True

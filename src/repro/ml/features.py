@@ -1,0 +1,106 @@
+"""Feature encoding for the classifier panel.
+
+The paper's Metric II trains, for *every* attribute of a dataset, a
+binary classifier predicting a binarised version of that attribute from
+all others.  This module provides:
+
+* :class:`FeatureEncoder` — one-hot encoding for categorical attributes
+  and (public-bounds) standardization for numerical ones, fit on the
+  schema rather than the data so the same encoder applies to true and
+  synthetic tables;
+* :func:`binarize_target` — the paper's per-attribute binary labels
+  ("income more than 50K or not, age is senior or not, ..."): the
+  majority value vs the rest for categoricals, above-median (of the
+  *true* data) for numericals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schema.table import Table
+
+
+class FeatureEncoder:
+    """Schema-driven table -> matrix encoding.
+
+    Parameters
+    ----------
+    relation:
+        The schema to encode.
+    exclude:
+        Attribute names left out of the feature matrix (the current
+        classification target).
+    max_onehot:
+        Width cap for one categorical attribute's one-hot block.  Domains
+        wider than this are deterministically hash-bucketed (value mod
+        ``max_onehot``) so huge domains (e.g. Tax ``zip`` with ~2000
+        values) do not blow up the feature matrix and the tree-based
+        classifiers' split search.
+    """
+
+    def __init__(self, relation, exclude=(), max_onehot: int = 64):
+        if max_onehot < 2:
+            raise ValueError("max_onehot must be at least 2")
+        self.relation = relation
+        self.exclude = set(exclude)
+        self.max_onehot = max_onehot
+        self.columns: list[tuple[str, str]] = []
+        for attr in relation:
+            if attr.name in self.exclude:
+                continue
+            kind = "cat" if attr.is_categorical else "num"
+            self.columns.append((attr.name, kind))
+
+    def _onehot_width(self, name: str) -> int:
+        return min(self.relation[name].domain.size, self.max_onehot)
+
+    @property
+    def dim(self) -> int:
+        total = 0
+        for name, kind in self.columns:
+            if kind == "cat":
+                total += self._onehot_width(name)
+            else:
+                total += 1
+        return total
+
+    def transform(self, table: Table) -> np.ndarray:
+        """Encode a table into an ``(n, dim)`` float64 matrix."""
+        parts = []
+        for name, kind in self.columns:
+            col = table.column(name)
+            if kind == "cat":
+                width = self._onehot_width(name)
+                onehot = np.zeros((table.n, width))
+                codes = col.astype(np.int64) % width
+                onehot[np.arange(table.n), codes] = 1.0
+                parts.append(onehot)
+            else:
+                dom = self.relation[name].domain
+                mid = 0.5 * (dom.low + dom.high)
+                scale = max((dom.high - dom.low) / 4.0, 1e-12)
+                parts.append(((col - mid) / scale)[:, None])
+        return np.concatenate(parts, axis=1)
+
+
+def binarize_target(table: Table, attr_name: str,
+                    reference: Table | None = None) -> np.ndarray:
+    """Binary labels for attribute ``attr_name`` (paper §7.1 Metric II).
+
+    Categorical: 1 if the cell equals the *reference* table's majority
+    value (default: the table itself), else 0.  Numerical: 1 if above
+    the reference median.  Passing the true table as ``reference``
+    guarantees the synthetic and true labelings use the same threshold.
+    """
+    reference = reference if reference is not None else table
+    attr = table.relation[attr_name]
+    col = table.column(attr_name)
+    ref_col = reference.column(attr_name)
+    if attr.is_categorical:
+        counts = np.bincount(ref_col.astype(np.int64),
+                             minlength=attr.domain.size)
+        majority = int(np.argmax(counts))
+        return (col == majority).astype(np.int64)
+    threshold = float(np.median(ref_col))
+    return (col > threshold).astype(np.int64)

@@ -1,0 +1,59 @@
+"""Bootstrap ensembles: random forest and bagging."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree import DecisionTree
+
+
+class _BootstrapEnsemble:
+    """Common machinery: bootstrap-resampled trees with majority vote."""
+
+    def __init__(self, n_estimators: int, max_depth: int,
+                 max_features: float | None, seed: int):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self._trees: list[DecisionTree] = []
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        n = X.shape[0]
+        self._trees = []
+        for e in range(self.n_estimators):
+            idx = self.rng.integers(0, n, size=n)
+            tree = DecisionTree(max_depth=self.max_depth,
+                                max_features=self.max_features,
+                                seed=int(self.rng.integers(1 << 31)))
+            tree.fit(X[idx], y[idx])
+            self._trees.append(tree)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("fit() before predict()")
+        votes = np.zeros(np.asarray(X).shape[0])
+        for tree in self._trees:
+            votes += tree.predict(X)
+        return (votes * 2 >= len(self._trees)).astype(np.int64)
+
+
+class RandomForest(_BootstrapEnsemble):
+    """Bootstrap trees with random sqrt-fraction feature subsets."""
+
+    def __init__(self, n_estimators: int = 20, max_depth: int = 8,
+                 seed: int = 0):
+        super().__init__(n_estimators, max_depth, max_features=0.4,
+                         seed=seed)
+
+
+class Bagging(_BootstrapEnsemble):
+    """Bootstrap trees over the full feature set."""
+
+    def __init__(self, n_estimators: int = 10, max_depth: int = 8,
+                 seed: int = 0):
+        super().__init__(n_estimators, max_depth, max_features=None,
+                         seed=seed)

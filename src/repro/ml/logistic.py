@@ -1,0 +1,54 @@
+"""L2-regularised logistic regression trained by full-batch gradient
+descent with a fixed step schedule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import sigmoid
+
+
+class LogisticRegression:
+    """Binary logistic regression.
+
+    Parameters
+    ----------
+    lr:
+        Gradient-descent step size.
+    epochs:
+        Number of full-batch iterations.
+    l2:
+        Ridge penalty on the weights (not the intercept).
+    seed:
+        Unused (deterministic); kept for panel-uniform construction.
+    """
+
+    def __init__(self, lr: float = 0.5, epochs: int = 200, l2: float = 1e-3,
+                 seed: int = 0):
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.weights: np.ndarray | None = None
+        self.bias = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n, d = X.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        for _ in range(self.epochs):
+            margin = X @ self.weights + self.bias
+            grad = sigmoid(margin) - y
+            self.weights -= self.lr * (X.T @ grad / n
+                                       + self.l2 * self.weights)
+            self.bias -= self.lr * float(grad.mean())
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("fit() before predict()")
+        return sigmoid(np.asarray(X) @ self.weights + self.bias)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)

@@ -1,0 +1,33 @@
+"""Binary classification metrics (accuracy and F1, as in Figure 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch between labels and predictions")
+    if y_true.size == 0:
+        raise ValueError("empty label vector")
+    return float(np.mean(y_true == y_pred))
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall for the positive class.
+
+    Returns 0.0 when the positive class is never predicted and never
+    present (the degenerate case scikit-learn warns about).
+    """
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = float(np.sum((y_true == 0) & (y_pred == 1)))
+    fn = float(np.sum((y_true == 1) & (y_pred == 0)))
+    denom = 2 * tp + fp + fn
+    if denom == 0:
+        return 0.0
+    return 2 * tp / denom

@@ -1,0 +1,70 @@
+"""A one-hidden-layer MLP classifier trained with Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import bce_with_logits_loss
+from repro.nn.optim import Adam
+from repro.nn.functional import sigmoid
+
+
+class MLPClassifier:
+    """ReLU MLP with one hidden layer and a BCE-on-logits objective.
+
+    Parameters
+    ----------
+    hidden:
+        Hidden layer width.
+    epochs:
+        Passes over the data (mini-batched).
+    batch_size, lr, seed:
+        The usual knobs.
+    """
+
+    def __init__(self, hidden: int = 32, epochs: int = 30,
+                 batch_size: int = 64, lr: float = 1e-2, seed: int = 0):
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self._layers = None
+
+    def _forward(self, X: np.ndarray) -> np.ndarray:
+        lin1, act, lin2 = self._layers
+        return lin2.forward(act.forward(lin1.forward(X)))[:, 0]
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        lin1 = Linear(X.shape[1], self.hidden, rng, name="mlp.lin1")
+        act = ReLU()
+        lin2 = Linear(self.hidden, 1, rng, name="mlp.lin2")
+        self._layers = (lin1, act, lin2)
+        params = lin1.parameters() + lin2.parameters()
+        optimizer = Adam(params, lr=self.lr)
+        n = X.shape[0]
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                optimizer.zero_grad()
+                logits = self._forward(X[idx])
+                _, grad = bce_with_logits_loss(logits, y[idx])
+                grad = (grad / idx.shape[0])[:, None]
+                g = lin2.backward(grad)
+                g = act.backward(g)
+                lin1.backward(g)
+                optimizer.step()
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        if self._layers is None:
+            raise RuntimeError("fit() before predict()")
+        return sigmoid(self._forward(np.asarray(X, dtype=np.float64)))
+
+    def predict(self, X) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(np.int64)

@@ -1,0 +1,46 @@
+"""Bernoulli naive Bayes over binarised features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BernoulliNB:
+    """Naive Bayes with Bernoulli likelihoods.
+
+    Features are binarised at ``threshold`` (one-hot columns pass
+    through unchanged; standardized numerics become sign indicators).
+    Laplace smoothing ``alpha`` avoids zero likelihoods.
+    """
+
+    def __init__(self, alpha: float = 1.0, threshold: float = 0.0,
+                 seed: int = 0):
+        self.alpha = alpha
+        self.threshold = threshold
+        self._log_prior: np.ndarray | None = None
+        self._log_p: np.ndarray | None = None      # log P(x=1 | class)
+        self._log_q: np.ndarray | None = None      # log P(x=0 | class)
+
+    def _binarize(self, X: np.ndarray) -> np.ndarray:
+        return (np.asarray(X, dtype=np.float64) > self.threshold)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BernoulliNB":
+        B = self._binarize(X)
+        y = np.asarray(y, dtype=np.int64)
+        n = y.shape[0]
+        counts = np.array([(y == 0).sum(), (y == 1).sum()], dtype=np.float64)
+        self._log_prior = np.log((counts + self.alpha)
+                                 / (n + 2 * self.alpha))
+        ones = np.stack([B[y == 0].sum(axis=0), B[y == 1].sum(axis=0)])
+        p = (ones + self.alpha) / (counts[:, None] + 2 * self.alpha)
+        self._log_p = np.log(p)
+        self._log_q = np.log1p(-p)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self._log_prior is None:
+            raise RuntimeError("fit() before predict()")
+        B = self._binarize(X).astype(np.float64)
+        scores = (self._log_prior[None, :]
+                  + B @ self._log_p.T + (1.0 - B) @ self._log_q.T)
+        return np.argmax(scores, axis=1).astype(np.int64)

@@ -1,0 +1,216 @@
+"""CART decision trees (classification and regression).
+
+Both trees use vectorized split search: per feature, sort the values,
+sweep prefix statistics, and score every boundary between distinct
+values in one pass.  The classification tree supports per-sample
+weights (needed by AdaBoost); the regression tree supports
+gradient/hessian leaf statistics (needed by the XGBoost-style booster).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=None):
+        self.feature = -1
+        self.threshold = 0.0
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_gini(X, y, w, feature_indices, min_leaf):
+    """(feature, threshold, score) minimising weighted Gini impurity."""
+    best = (None, 0.0, np.inf)
+    total_w = w.sum()
+    total_pos = float(w[y == 1].sum())
+    for f in feature_indices:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        ws = w[order]
+        ps = ws * (y[order] == 1)
+        cw = np.cumsum(ws)
+        cp = np.cumsum(ps)
+        # Valid boundaries: value changes and both sides big enough.
+        boundaries = np.nonzero(np.diff(xs) > 1e-12)[0]
+        if boundaries.size == 0:
+            continue
+        counts = np.arange(1, xs.shape[0])
+        valid = boundaries[(boundaries + 1 >= min_leaf)
+                           & (xs.shape[0] - boundaries - 1 >= min_leaf)]
+        if valid.size == 0:
+            continue
+        lw = cw[valid]
+        lp = cp[valid]
+        rw = total_w - lw
+        rp = total_pos - lp
+        gini_l = 1.0 - ((lp / lw) ** 2 + (1 - lp / lw) ** 2)
+        gini_r = 1.0 - ((rp / rw) ** 2 + (1 - rp / rw) ** 2)
+        score = (lw * gini_l + rw * gini_r) / total_w
+        arg = int(np.argmin(score))
+        if score[arg] < best[2]:
+            thr = 0.5 * (xs[valid[arg]] + xs[valid[arg] + 1])
+            best = (int(f), float(thr), float(score[arg]))
+    return best
+
+
+def _best_split_sse(X, g, h, feature_indices, min_leaf, lam):
+    """(feature, threshold, gain) maximising the second-order gain
+    ``GL^2/(HL+lam) + GR^2/(HR+lam) - G^2/(H+lam)``."""
+    best = (None, 0.0, 0.0)
+    G, H = g.sum(), h.sum()
+    parent = G * G / (H + lam)
+    for f in feature_indices:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        cg = np.cumsum(g[order])
+        ch = np.cumsum(h[order])
+        boundaries = np.nonzero(np.diff(xs) > 1e-12)[0]
+        valid = boundaries[(boundaries + 1 >= min_leaf)
+                           & (xs.shape[0] - boundaries - 1 >= min_leaf)]
+        if valid.size == 0:
+            continue
+        GL, HL = cg[valid], ch[valid]
+        GR, HR = G - GL, H - HL
+        gain = GL * GL / (HL + lam) + GR * GR / (HR + lam) - parent
+        arg = int(np.argmax(gain))
+        if gain[arg] > best[2]:
+            thr = 0.5 * (xs[valid[arg]] + xs[valid[arg] + 1])
+            best = (int(f), float(thr), float(gain[arg]))
+    return best
+
+
+class DecisionTree:
+    """Gini-impurity CART classifier with optional sample weights."""
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 2,
+                 max_features: float | None = None, seed: int = 0):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = np.random.default_rng(seed)
+        self._root: _Node | None = None
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        w = (np.ones(y.shape[0]) if sample_weight is None
+             else np.asarray(sample_weight, dtype=np.float64))
+        self._n_features = X.shape[1]
+        self._root = self._build(X, y, w, 0)
+        return self
+
+    def _feature_subset(self) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(self._n_features)
+        k = max(1, int(self.max_features * self._n_features))
+        return self.rng.choice(self._n_features, size=k, replace=False)
+
+    def _build(self, X, y, w, depth) -> _Node:
+        pos = float(w[y == 1].sum())
+        total = float(w.sum())
+        leaf_value = 1 if pos * 2 >= total else 0
+        if (depth >= self.max_depth or y.shape[0] < 2 * self.min_samples_leaf
+                or pos == 0 or pos == total):
+            return _Node(value=leaf_value)
+        feature, threshold, score = _best_split_gini(
+            X, y, w, self._feature_subset(), self.min_samples_leaf)
+        if feature is None:
+            return _Node(value=leaf_value)
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return _Node(value=leaf_value)
+        node = _Node()
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() before predict()")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.int64)
+        idx = np.arange(X.shape[0])
+        stack = [(self._root, idx)]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out
+
+
+class RegressionTree:
+    """Second-order regression tree: fits gradient/hessian statistics.
+
+    With unit hessians and ``lam=0`` this is a plain squared-error
+    regression tree on the (negative) gradients — the weak learner of
+    classic gradient boosting; with logistic hessians and ``lam > 0`` it
+    is the XGBoost weak learner.
+    """
+
+    def __init__(self, max_depth: int = 3, min_samples_leaf: int = 5,
+                 lam: float = 1.0, seed: int = 0):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.lam = lam
+        self._root: _Node | None = None
+
+    def fit(self, X, grad, hess=None) -> "RegressionTree":
+        X = np.asarray(X, dtype=np.float64)
+        g = np.asarray(grad, dtype=np.float64)
+        h = (np.ones_like(g) if hess is None
+             else np.asarray(hess, dtype=np.float64))
+        self._root = self._build(X, g, h, 0)
+        return self
+
+    def _leaf_value(self, g, h) -> float:
+        return float(-g.sum() / (h.sum() + self.lam))
+
+    def _build(self, X, g, h, depth) -> _Node:
+        if depth >= self.max_depth or g.shape[0] < 2 * self.min_samples_leaf:
+            return _Node(value=self._leaf_value(g, h))
+        feature, threshold, gain = _best_split_sse(
+            X, g, h, np.arange(X.shape[1]), self.min_samples_leaf, self.lam)
+        if feature is None or gain <= 1e-12:
+            return _Node(value=self._leaf_value(g, h))
+        mask = X[:, feature] <= threshold
+        node = _Node()
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], g[mask], h[mask], depth + 1)
+        node.right = self._build(X[~mask], g[~mask], h[~mask], depth + 1)
+        return node
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("fit() before predict()")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        stack = [(self._root, np.arange(X.shape[0]))]
+        while stack:
+            node, rows = stack.pop()
+            if rows.size == 0:
+                continue
+            if node.is_leaf:
+                out[rows] = node.value
+                continue
+            mask = X[rows, node.feature] <= node.threshold
+            stack.append((node.left, rows[mask]))
+            stack.append((node.right, rows[~mask]))
+        return out

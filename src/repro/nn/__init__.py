@@ -1,0 +1,57 @@
+"""A minimal neural-network substrate in pure numpy.
+
+The paper trains its discriminative sub-models (AimNet-style tuple
+embedding + attention, §2.3) with DP-SGD, which requires *per-sample*
+gradients for the L2 clipping step (Algorithm 2, line 14).  No deep
+learning framework is available in this environment, so this package
+implements the needed pieces from scratch:
+
+* :class:`Parameter` — a weight array carrying both the summed gradient
+  (``grad``) and the per-sample gradient stack (``grad_sample``);
+* layers with manual forward/backward: :class:`Linear`,
+  :class:`Embedding`, :class:`ReLU`, :class:`NumericEncoder` (the
+  paper's non-linear transform for continuous attributes);
+* :class:`Attention` — scaled dot-product attention over context
+  attribute embeddings with a learnable query;
+* losses returning per-sample values and input gradients;
+* :class:`SGD` and :class:`Adam` optimizers;
+* :func:`gradcheck` — finite-difference verification used by the tests.
+
+All backward passes accept ``per_sample=True`` to additionally populate
+``Parameter.grad_sample`` with shape ``(batch, *param.shape)``; the
+DP-SGD optimizer in :mod:`repro.privacy.dpsgd` consumes these.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.layers import Embedding, Linear, Module, NumericEncoder, ReLU
+from repro.nn.attention import Attention
+from repro.nn.losses import (
+    bce_with_logits_loss,
+    cross_entropy_loss,
+    gaussian_nll_loss,
+    mse_loss,
+)
+from repro.nn.optim import SGD, Adam
+from repro.nn.functional import log_softmax, relu, sigmoid, softmax
+from repro.nn.gradcheck import gradcheck
+
+__all__ = [
+    "Adam",
+    "Attention",
+    "Embedding",
+    "Linear",
+    "Module",
+    "NumericEncoder",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "bce_with_logits_loss",
+    "cross_entropy_loss",
+    "gaussian_nll_loss",
+    "gradcheck",
+    "log_softmax",
+    "mse_loss",
+    "relu",
+    "sigmoid",
+    "softmax",
+]

@@ -1,0 +1,47 @@
+"""Stateless numerical functions with stable implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / np.sum(ex, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def softmax_backward(alpha: np.ndarray, grad_alpha: np.ndarray,
+                     axis: int = -1) -> np.ndarray:
+    """Gradient through softmax: ``ds = a * (da - sum(a * da))``."""
+    inner = np.sum(alpha * grad_alpha, axis=axis, keepdims=True)
+    return alpha * (grad_alpha - inner)
+
+
+def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
+    """One-hot encode an int vector to (n, depth) float64."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = np.zeros((indices.shape[0], depth), dtype=np.float64)
+    out[np.arange(indices.shape[0]), indices] = 1.0
+    return out

@@ -1,0 +1,72 @@
+"""Loss functions returning per-sample losses and input gradients.
+
+Each loss returns ``(per_sample_loss, grad_wrt_input)`` where the
+gradient corresponds to the *sum* of the per-sample losses — callers
+that want mean-gradient semantics divide by the batch size themselves
+(DP-SGD divides by the expected batch size *after* clipping and noising,
+per Algorithm 2 line 15, so the raw per-sample convention is the one it
+needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, sigmoid, softmax
+
+
+def cross_entropy_loss(logits: np.ndarray,
+                       targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Categorical cross-entropy for integer class targets.
+
+    ``logits``: (batch, classes); ``targets``: (batch,) int codes.
+    Used for categorical target attributes (Algorithm 2, line 10).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    logp = log_softmax(logits, axis=1)
+    batch = logits.shape[0]
+    losses = -logp[np.arange(batch), targets]
+    grad = softmax(logits, axis=1)
+    grad[np.arange(batch), targets] -= 1.0
+    return losses, grad
+
+
+def gaussian_nll_loss(mu: np.ndarray, log_sigma: np.ndarray,
+                      targets: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Negative log-likelihood of a Gaussian with learned mean and scale.
+
+    Used for numerical target attributes: the discriminative model
+    "outputs a Gaussian distribution mean mu and std sigma" (§4.2).
+    Returns (losses, grad_mu, grad_log_sigma).  ``log_sigma`` is clipped
+    into [-6, 6] inside the loss for numerical robustness.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    log_sigma = np.clip(log_sigma, -6.0, 6.0)
+    inv_var = np.exp(-2.0 * log_sigma)
+    diff = mu - targets
+    losses = 0.5 * diff * diff * inv_var + log_sigma + 0.5 * np.log(2 * np.pi)
+    grad_mu = diff * inv_var
+    grad_log_sigma = 1.0 - diff * diff * inv_var
+    return losses, grad_mu, grad_log_sigma
+
+
+def mse_loss(pred: np.ndarray,
+             targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Squared error (the paper's alternative numerical loss)."""
+    diff = pred - np.asarray(targets, dtype=np.float64)
+    return diff * diff, 2.0 * diff
+
+
+def bce_with_logits_loss(logits: np.ndarray,
+                         targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Binary cross-entropy on logits (stable log-sum-exp form).
+
+    Used by the GAN/VAE baselines and the MLP classifier.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t  is the stable BCE.
+    losses = (np.maximum(logits, 0.0) - logits * targets
+              + np.log1p(np.exp(-np.abs(logits))))
+    grad = sigmoid(logits) - targets
+    return losses, grad

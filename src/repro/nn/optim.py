@@ -1,0 +1,53 @@
+"""First-order optimizers over :class:`~repro.nn.parameter.Parameter`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Plain stochastic gradient descent (Algorithm 2, line 16)."""
+
+    def __init__(self, parameters, lr: float = 1e-3):
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        for p in self.parameters:
+            p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) — used by the non-DP baselines' inner
+    loops (GAN discriminators, VAE pre-training, MLP classifier)."""
+
+    def __init__(self, parameters, lr: float = 1e-3, beta1: float = 0.9,
+                 beta2: float = 0.999, eps: float = 1e-8):
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            m *= b1
+            m += (1 - b1) * p.grad
+            v *= b2
+            v += (1 - b2) * p.grad * p.grad
+            p.value -= self.lr * (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

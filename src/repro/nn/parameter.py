@@ -1,0 +1,61 @@
+"""Trainable parameters.
+
+A :class:`Parameter` owns its value array and two gradient buffers:
+
+* ``grad`` — the batch-summed gradient, used by ordinary SGD/Adam;
+* ``grad_sample`` — a ``(batch, *shape)`` stack of per-example
+  gradients, populated only when a backward pass is run with
+  ``per_sample=True``.  DP-SGD clips each example's concatenated
+  gradient to L2 norm ``C`` before summing (Algorithm 2 line 14), which
+  is impossible from the summed gradient alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A weight array with gradient accumulation buffers."""
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.name = name
+        self.grad = np.zeros_like(self.value)
+        self.grad_sample: np.ndarray | None = None
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Reset both gradient buffers."""
+        self.grad.fill(0.0)
+        self.grad_sample = None
+
+    def accumulate(self, grad: np.ndarray,
+                   grad_sample: np.ndarray | None = None) -> None:
+        """Add a gradient contribution (and optionally per-sample stack).
+
+        Layers whose parameter appears once in the graph call this once
+        per backward; parameters reused across sub-expressions (e.g. a
+        target embedding used both as input and as output head) call it
+        multiple times and the buffers accumulate.
+        """
+        self.grad += grad
+        if grad_sample is not None:
+            if self.grad_sample is None:
+                self.grad_sample = grad_sample.copy()
+            else:
+                self.grad_sample += grad_sample
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name or 'unnamed'}, shape={self.shape})"
+
+
+def xavier_init(rng: np.random.Generator, fan_in: int, fan_out: int,
+                shape=None) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.uniform(-bound, bound, size=shape)

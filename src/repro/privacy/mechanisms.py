@@ -1,0 +1,91 @@
+"""Additive-noise mechanisms (§2.4).
+
+The Gaussian mechanism perturbs a vector-valued query with noise
+``N(0, S_f^2 sigma^2 I)`` where ``S_f`` is the L2 sensitivity and
+``sigma`` the noise *scale* (the paper's convention — total standard
+deviation is ``S_f * sigma``).  The Laplace mechanism is included for
+the PATE vote aggregation and PrivBayes baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gaussian_sigma(epsilon: float, delta: float) -> float:
+    """Classic calibration ``sigma >= sqrt(2 ln(1.25/delta)) / epsilon``.
+
+    Valid for ``epsilon in (0, 1)``; the paper uses this form both in
+    §2.4 and for the DC-weight noise (Algorithm 6, line 7).
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    return float(np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon)
+
+
+class GaussianMechanism:
+    """Gaussian noise addition with explicit sensitivity accounting.
+
+    Parameters
+    ----------
+    sensitivity:
+        L2 sensitivity ``S_f`` of the query being released.
+    sigma:
+        Noise scale; the released value is
+        ``f(D) + N(0, (sensitivity * sigma)^2)`` per coordinate.
+    rng:
+        Source of randomness.
+    """
+
+    def __init__(self, sensitivity: float, sigma: float,
+                 rng: np.random.Generator):
+        if sensitivity < 0:
+            raise ValueError("sensitivity must be non-negative")
+        if sigma <= 0:
+            raise ValueError("sigma must be positive")
+        self.sensitivity = float(sensitivity)
+        self.sigma = float(sigma)
+        self.rng = rng
+
+    @property
+    def noise_std(self) -> float:
+        return self.sensitivity * self.sigma
+
+    def release(self, values: np.ndarray) -> np.ndarray:
+        """Return a noisy copy of ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        return values + self.rng.normal(0.0, self.noise_std, size=values.shape)
+
+    def rdp(self, alpha: float) -> float:
+        """Per-release RDP cost ``alpha / (2 sigma^2)`` (scale-invariant:
+        the sensitivity cancels because noise is proportional to it)."""
+        return alpha / (2.0 * self.sigma ** 2)
+
+
+class LaplaceMechanism:
+    """Laplace noise addition calibrated to L1 sensitivity.
+
+    Satisfies pure ``epsilon``-DP: noise scale is ``sensitivity/epsilon``.
+    """
+
+    def __init__(self, sensitivity: float, epsilon: float,
+                 rng: np.random.Generator):
+        if sensitivity < 0:
+            raise ValueError("sensitivity must be non-negative")
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.sensitivity = float(sensitivity)
+        self.epsilon = float(epsilon)
+        self.rng = rng
+
+    @property
+    def noise_scale(self) -> float:
+        return self.sensitivity / self.epsilon
+
+    def release(self, values: np.ndarray) -> np.ndarray:
+        """Return a noisy copy of ``values``."""
+        values = np.asarray(values, dtype=np.float64)
+        return values + self.rng.laplace(0.0, self.noise_scale,
+                                         size=values.shape)

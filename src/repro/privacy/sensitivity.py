@@ -1,0 +1,57 @@
+"""L2 sensitivity helpers.
+
+The DP analysis is under *bounded* neighbouring databases ("differ only
+in one tuple" — one tuple replaced by another, Definition 1), so a
+histogram's L2 sensitivity is sqrt(2): the replaced tuple leaves one bin
+(-1) and enters another (+1).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def histogram_l2_sensitivity() -> float:
+    """L2 sensitivity of a counting histogram under tuple replacement.
+
+    One replacement decrements one count and increments another:
+    ``||(. -1 ... +1 .)||_2 = sqrt(2)``.  Algorithm 2 line 3 adds noise
+    ``N(0, 2 sigma_g^2)`` — exactly ``(sqrt(2) * sigma_g)^2`` — so the
+    RDP cost of M1 is ``alpha / (2 sigma_g^2)`` as in Theorem 1.
+    """
+    return math.sqrt(2.0)
+
+
+def violation_matrix_sensitivity(num_unary: int, num_binary: int,
+                                 L_w: int) -> float:
+    """Lemma 1: L2 sensitivity of the subsampled violation matrix.
+
+    ``S_w = |phi_u| + |phi_b| * sqrt(L_w^2 - L_w)``: replacing one tuple
+    in a sample of ``L_w`` rows can change a unary-DC column by 1 in one
+    row, and a binary-DC column by up to ``L_w - 1`` in the changed row
+    plus 1 in each of the other ``L_w - 1`` rows —
+    ``sqrt((L_w-1) + (L_w-1)^2) = sqrt(L_w^2 - L_w)``.
+    """
+    if num_unary < 0 or num_binary < 0:
+        raise ValueError("DC counts must be non-negative")
+    if L_w < 1:
+        raise ValueError("sample size L_w must be >= 1")
+    return num_unary + num_binary * math.sqrt(L_w * L_w - L_w)
+
+
+def capped_indicator_sensitivity(num_dcs: int, L_w: int) -> float:
+    """L2 sensitivity of the *capped* violation-indicator matrix.
+
+    Entries are ``min(V[i][l], 1)``: does tuple ``i`` participate in
+    any violation of DC ``l``.  Replacing one tuple changes each entry
+    by at most 1, and at most all ``L_w`` rows of all ``num_dcs``
+    columns flip, so ``S = sqrt(L_w * num_dcs)`` — a factor
+    ``~sqrt(L_w)`` below Lemma 1's uncapped bound.  This is what makes
+    weight learning informative at honest budgets (see
+    ``repro.core.weights``).
+    """
+    if num_dcs < 0:
+        raise ValueError("DC count must be non-negative")
+    if L_w < 1:
+        raise ValueError("sample size L_w must be >= 1")
+    return math.sqrt(L_w * num_dcs)

@@ -1,0 +1,20 @@
+"""Probabilistic database framework (§2.2).
+
+Models a probability distribution over ordinary database instances with
+denial constraints as parametric factors (Eqn. 1)::
+
+    Pr(D)  ∝  prod_t Pr(t)  *  exp(- sum_phi w_phi |V(phi, D)|)
+
+and provides the chain decomposition of §3.2 (Eqns. 3-6) that Kamino's
+sampler walks: violations accumulate tuple-by-tuple (and, with a schema
+sequence, attribute-by-attribute), so the joint factorises into per-cell
+conditionals times per-cell violation penalties.
+"""
+
+from repro.probdb.model import (
+    ProbabilisticDatabase,
+    chain_log_potential,
+    log_potential,
+)
+
+__all__ = ["ProbabilisticDatabase", "chain_log_potential", "log_potential"]

@@ -1,0 +1,156 @@
+"""Diagnostics for the probabilistic-database model and its samplers.
+
+Two tools the paper leaves implicit:
+
+* **MCMC convergence** — Algorithm 3's constrained MCMC re-samples
+  cells "for a fixed number of times or till convergence" (Example 4).
+  :class:`ChainTrace` collects the unnormalised log-score trace of a
+  chain and :func:`geweke_zscore` / :func:`has_converged` give a
+  concrete convergence test (Geweke's two-window mean comparison).
+
+* **Expected violations** (Appendix A) — Theorem 2 argues a sampled
+  instance violates hard DCs with probability -> 0 as weights -> inf.
+  :func:`expected_new_violations` makes the finite-weight version
+  computable: given per-candidate violation counts and the model's
+  candidate probabilities, it returns the expected number of new
+  violations one sampling step introduces, which
+  :func:`expected_violation_curve` integrates over a weight grid to show
+  the exponential suppression.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class ChainTrace:
+    """Accumulates a scalar score trace of an MCMC chain."""
+
+    def __init__(self):
+        self.scores: list[float] = []
+
+    def record(self, score: float) -> None:
+        """Append one step's (unnormalised) log score."""
+        self.scores.append(float(score))
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.asarray(self.scores, dtype=np.float64)
+
+
+def geweke_zscore(trace, first: float = 0.1, last: float = 0.5) -> float:
+    """Geweke (1992) convergence diagnostic.
+
+    Compares the mean of the first ``first`` fraction of the trace with
+    the mean of the last ``last`` fraction; under stationarity the
+    difference, standardised by the two windows' standard errors, is
+    approximately standard normal.
+
+    Returns ``inf`` when either window has zero variance but differing
+    means (a decisive non-convergence signal), and 0.0 when both windows
+    are constant and equal.
+    """
+    x = trace.array if isinstance(trace, ChainTrace) else np.asarray(
+        trace, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("trace must be 1-D")
+    if not 0 < first < 1 or not 0 < last < 1 or first + last > 1:
+        raise ValueError("window fractions must be in (0,1) and sum <= 1")
+    if x.size < 4:
+        raise ValueError("trace too short for a Geweke diagnostic")
+    a = x[: max(1, int(first * x.size))]
+    b = x[-max(1, int(last * x.size)):]
+    mean_gap = float(a.mean() - b.mean())
+    var = a.var(ddof=1) / a.size + b.var(ddof=1) / b.size if (
+        a.size > 1 and b.size > 1) else 0.0
+    if var <= 0:
+        return 0.0 if mean_gap == 0.0 else math.inf
+    return mean_gap / math.sqrt(var)
+
+
+def has_converged(trace, z_threshold: float = 2.0) -> bool:
+    """True if the Geweke |z| is below ``z_threshold`` (95%-ish level)."""
+    return abs(geweke_zscore(trace)) < z_threshold
+
+
+def effective_sample_size(trace, max_lag: int | None = None) -> float:
+    """ESS via the initial-positive-sequence autocorrelation estimator.
+
+    A chain of ``n`` perfectly independent samples returns ~``n``;
+    heavy autocorrelation shrinks the value toward 1.
+    """
+    x = trace.array if isinstance(trace, ChainTrace) else np.asarray(
+        trace, dtype=np.float64)
+    n = x.size
+    if n < 4:
+        raise ValueError("trace too short for an ESS estimate")
+    x = x - x.mean()
+    denom = float(np.dot(x, x))
+    if denom <= 0:
+        return float(n)
+    max_lag = (n // 2) if max_lag is None else min(max_lag, n - 1)
+    rho_sum = 0.0
+    for lag in range(1, max_lag + 1):
+        rho = float(np.dot(x[:-lag], x[lag:])) / denom
+        if rho <= 0:
+            break
+        rho_sum += rho
+    return n / (1.0 + 2.0 * rho_sum)
+
+
+# ----------------------------------------------------------------------
+# Expected-violation analysis (Appendix A, made quantitative)
+# ----------------------------------------------------------------------
+def constraint_adjusted_probabilities(base_probs, violation_counts,
+                                      weight: float) -> np.ndarray:
+    """Algorithm 3 line 10: ``P[v] ∝ p_v * exp(-w * vio_v)``.
+
+    ``weight = math.inf`` zeroes every candidate with violations; if all
+    candidates violate, the minimum-violation candidates share the mass
+    (the sampler must still emit *something*, and these are the least
+    bad choices).
+    """
+    p = np.asarray(base_probs, dtype=np.float64)
+    v = np.asarray(violation_counts, dtype=np.float64)
+    if p.shape != v.shape:
+        raise ValueError("base_probs and violation_counts shapes differ")
+    if np.any(p < 0) or np.any(v < 0):
+        raise ValueError("probabilities and violation counts must be >= 0")
+    if math.isinf(weight):
+        mask = v == v.min()
+        adjusted = np.where(mask, p, 0.0)
+    else:
+        adjusted = p * np.exp(-weight * v)
+    total = adjusted.sum()
+    if total <= 0:
+        # Base model put all mass on violating candidates; fall back to
+        # the minimum-violation set, uniformly.
+        mask = v == v.min()
+        adjusted = mask.astype(np.float64)
+        total = adjusted.sum()
+    return adjusted / total
+
+
+def expected_new_violations(base_probs, violation_counts,
+                            weight: float) -> float:
+    """Expected violations introduced by one constraint-aware draw."""
+    probs = constraint_adjusted_probabilities(
+        base_probs, violation_counts, weight)
+    v = np.asarray(violation_counts, dtype=np.float64)
+    return float(np.dot(probs, v))
+
+
+def expected_violation_curve(base_probs, violation_counts,
+                             weights) -> list[tuple[float, float]]:
+    """Evaluate :func:`expected_new_violations` over a weight grid.
+
+    Theorem 2's qualitative claim appears as a monotone, exponentially
+    decaying curve: higher weights, fewer expected violations.
+    """
+    return [(float(w), expected_new_violations(
+        base_probs, violation_counts, w)) for w in weights]

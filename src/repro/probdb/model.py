@@ -1,0 +1,96 @@
+"""The parametric probabilistic-database model and its decomposition.
+
+Weights are per-DC non-negative reals; ``math.inf`` encodes hard DCs
+(any violation sends the instance probability to zero, matching the
+paper's "infinitely large weight" treatment).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.constraints.violations import (
+    count_violations,
+    incremental_violations,
+)
+
+
+def log_potential(table, dcs, weights: dict) -> float:
+    """``- sum_phi w_phi |V(phi, D)|`` — the log of Eqn. (1)'s factor.
+
+    Returns ``-inf`` if a hard DC (infinite weight) has violations.
+    """
+    total = 0.0
+    for dc in dcs:
+        w = weights[dc.name]
+        v = count_violations(dc, table)
+        if v == 0:
+            continue
+        if math.isinf(w):
+            return -math.inf
+        total -= w * v
+    return total
+
+
+def chain_log_potential(table, dcs, weights: dict) -> float:
+    """The same quantity accumulated tuple-by-tuple (Eqn. 3).
+
+    Computes ``sum_i |V(phi, t_i | D_:i)|`` per DC and returns the
+    weighted negative sum.  Exists to make the decomposition property
+    testable: it must equal :func:`log_potential` exactly.
+    """
+    cols = {a: table.column(a) for a in table.relation.names}
+    total = 0.0
+    for dc in dcs:
+        w = weights[dc.name]
+        count = 0
+        for i in range(table.n):
+            row = {a: cols[a][i] for a in dc.attributes}
+            prefix = {a: cols[a][:i] for a in dc.attributes}
+            count += incremental_violations(dc, row, prefix)
+        if count == 0:
+            continue
+        if math.isinf(w):
+            return -math.inf
+        total -= w * count
+    return total
+
+
+class ProbabilisticDatabase:
+    """Pr(D) ∝ prod Pr(t) * exp(-sum w |V|), up to normalisation.
+
+    Parameters
+    ----------
+    tuple_log_prob:
+        Callable ``table -> (n,) array`` of per-tuple log probabilities
+        under the tuple-independent part of the model.  Kamino plugs in
+        the chain of learned conditionals; the uniform model
+        (``lambda t: np.zeros(t.n)``) is useful in tests.
+    dcs, weights:
+        The constraint factors.
+    """
+
+    def __init__(self, tuple_log_prob, dcs, weights: dict):
+        self.tuple_log_prob = tuple_log_prob
+        self.dcs = list(dcs)
+        self.weights = dict(weights)
+        missing = {dc.name for dc in self.dcs} - set(self.weights)
+        if missing:
+            raise ValueError(f"missing weights for DCs: {sorted(missing)}")
+
+    def log_score(self, table) -> float:
+        """Unnormalised log probability of an instance."""
+        potential = log_potential(table, self.dcs, self.weights)
+        if math.isinf(potential):
+            return -math.inf
+        return float(np.sum(self.tuple_log_prob(table))) + potential
+
+    def more_likely(self, a, b) -> bool:
+        """True if instance ``a`` scores strictly higher than ``b``.
+
+        Normalisation constants cancel, so unnormalised scores order
+        instances correctly — the property Theorem 2 builds on.
+        """
+        return self.log_score(a) > self.log_score(b)

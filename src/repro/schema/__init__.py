@@ -1,0 +1,32 @@
+"""Relational schema substrate.
+
+This package provides the structured-data layer every other part of the
+system builds on: attribute domains, relation schemas, and a small
+column-oriented table container backed by numpy arrays.
+
+Design notes
+------------
+Categorical values are stored as integer *codes* into the domain's value
+list, and numerical values as ``float64``.  Working on codes keeps the
+denial-constraint engine, the marginal computations, and the neural
+models free of string handling, and mirrors how the paper's artifact
+encodes data before training.
+"""
+
+from repro.schema.domain import CategoricalDomain, Domain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+from repro.schema.quantize import Quantizer, quantize_table
+from repro.schema.split import train_test_split
+
+__all__ = [
+    "Attribute",
+    "CategoricalDomain",
+    "Domain",
+    "NumericalDomain",
+    "Quantizer",
+    "Relation",
+    "Table",
+    "quantize_table",
+    "train_test_split",
+]

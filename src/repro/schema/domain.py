@@ -1,0 +1,175 @@
+"""Attribute domains.
+
+A domain describes the set of values an attribute may take.  Two kinds
+are supported, mirroring the paper's "mixed data types" setting (§2.3):
+
+* :class:`CategoricalDomain` — a finite, ordered list of values.  Cells
+  of a categorical attribute are stored as integer codes indexing this
+  list.
+* :class:`NumericalDomain` — a real interval ``[low, high]``, optionally
+  integer-valued.  Cells are stored as ``float64``.
+
+The ``size`` of a domain drives the constraint-aware sequencing
+heuristic (Algorithm 4) and the hyper-attribute grouping optimisation
+(§4.3), so numerical domains report an *effective* size: the number of
+quantisation bins used when the attribute is histogrammed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Domain:
+    """Abstract base class for attribute domains."""
+
+    #: Effective number of distinct values (bins for numerical domains).
+    size: int
+
+    @property
+    def is_categorical(self) -> bool:
+        return isinstance(self, CategoricalDomain)
+
+    @property
+    def is_numerical(self) -> bool:
+        return isinstance(self, NumericalDomain)
+
+    def contains(self, value) -> bool:
+        """Return True if ``value`` is a member of this domain."""
+        raise NotImplementedError
+
+    def validate_column(self, column: np.ndarray) -> bool:
+        """Return True if every cell of ``column`` belongs to the domain."""
+        raise NotImplementedError
+
+
+class CategoricalDomain(Domain):
+    """A finite domain of distinct values.
+
+    Parameters
+    ----------
+    values:
+        The ordered list of admissible values.  Order matters: the code
+        of a value is its index in this list, and synthetic data uses the
+        same coding.
+    """
+
+    def __init__(self, values):
+        values = list(values)
+        if not values:
+            raise ValueError("categorical domain must not be empty")
+        if len(set(values)) != len(values):
+            raise ValueError("categorical domain values must be distinct")
+        self.values = values
+        self._code_of = {v: i for i, v in enumerate(values)}
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    def encode(self, value) -> int:
+        """Return the integer code of ``value``.
+
+        Raises ``KeyError`` if the value is not in the domain.
+        """
+        return self._code_of[value]
+
+    def encode_column(self, raw) -> np.ndarray:
+        """Encode an iterable of raw values into an int64 code array."""
+        return np.array([self._code_of[v] for v in raw], dtype=np.int64)
+
+    def decode(self, code: int):
+        """Return the raw value for an integer code."""
+        return self.values[int(code)]
+
+    def decode_column(self, codes: np.ndarray) -> list:
+        """Decode an int64 code array back to raw values."""
+        return [self.values[int(c)] for c in codes]
+
+    def contains(self, value) -> bool:
+        return value in self._code_of
+
+    def validate_column(self, column: np.ndarray) -> bool:
+        codes = np.asarray(column)
+        return bool(np.all((codes >= 0) & (codes < self.size)))
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(repr, self.values[:4]))
+        if self.size > 4:
+            preview += ", ..."
+        return f"CategoricalDomain([{preview}], size={self.size})"
+
+
+class NumericalDomain(Domain):
+    """A bounded real (or integer) interval ``[low, high]``.
+
+    Parameters
+    ----------
+    low, high:
+        Inclusive bounds of the domain.  Bounds are public knowledge in
+        the DP threat model (they are part of the schema, not the data).
+    integer:
+        If True, members are integers; sampling rounds to the nearest
+        integer inside the bounds.
+    bins:
+        Effective domain size used for histograms/quantisation; also the
+        value reported by :attr:`size` for Algorithm 4's domain-size
+        ordering.
+    """
+
+    def __init__(self, low: float, high: float, integer: bool = False,
+                 bins: int = 32):
+        if not np.isfinite(low) or not np.isfinite(high):
+            raise ValueError("numerical domain bounds must be finite")
+        if low > high:
+            raise ValueError(f"invalid numerical domain: [{low}, {high}]")
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.low = float(low)
+        self.high = float(high)
+        self.integer = bool(integer)
+        self.bins = int(bins)
+
+    @property
+    def size(self) -> int:
+        if self.integer:
+            span = int(self.high - self.low) + 1
+            return min(span, self.bins) if self.bins else span
+        return self.bins
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+    def clip(self, values: np.ndarray) -> np.ndarray:
+        """Clamp values into the domain (and round if integer-valued)."""
+        out = np.clip(np.asarray(values, dtype=np.float64), self.low, self.high)
+        if self.integer:
+            out = np.rint(out)
+        return out
+
+    def contains(self, value) -> bool:
+        v = float(value)
+        if not (self.low <= v <= self.high):
+            return False
+        return not self.integer or float(v).is_integer()
+
+    def validate_column(self, column: np.ndarray) -> bool:
+        col = np.asarray(column, dtype=np.float64)
+        ok = np.all((col >= self.low) & (col <= self.high))
+        if self.integer:
+            ok = ok and np.allclose(col, np.rint(col))
+        return bool(ok)
+
+    def bin_edges(self, q: int | None = None) -> np.ndarray:
+        """Return ``q + 1`` equi-width bin edges spanning the domain."""
+        q = self.bins if q is None else int(q)
+        return np.linspace(self.low, self.high, q + 1)
+
+    def __repr__(self) -> str:
+        kind = "int" if self.integer else "float"
+        return (f"NumericalDomain([{self.low}, {self.high}], {kind}, "
+                f"bins={self.bins})")

@@ -1,0 +1,106 @@
+"""Relation schemas: named attributes with domains.
+
+A :class:`Relation` is the single-table schema ``R = {A_1, ..., A_k}``
+of the paper's §2.  It owns the ordered attribute list, exposes
+name-based lookup, and computes the log-domain size used in experiment
+reports (Table 1 reports domain sizes like ``2^52``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.schema.domain import Domain
+
+
+class Attribute:
+    """A named attribute with a domain."""
+
+    def __init__(self, name: str, domain: Domain):
+        if not name:
+            raise ValueError("attribute name must be non-empty")
+        self.name = name
+        self.domain = domain
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.domain.is_categorical
+
+    @property
+    def is_numerical(self) -> bool:
+        return self.domain.is_numerical
+
+    def __repr__(self) -> str:
+        return f"Attribute({self.name!r}, {self.domain!r})"
+
+
+class Relation:
+    """An ordered collection of attributes forming a table schema."""
+
+    def __init__(self, attributes):
+        attributes = list(attributes)
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in {names}")
+        self.attributes = attributes
+        self._by_name = {a.name: a for a in attributes}
+
+    @property
+    def names(self) -> list[str]:
+        return [a.name for a in self.attributes]
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __getitem__(self, name: str) -> Attribute:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown attribute {name!r}; schema has {self.names}"
+            ) from None
+
+    def domain(self, name: str) -> Domain:
+        """Return the domain of attribute ``name``."""
+        return self[name].domain
+
+    def index_of(self, name: str) -> int:
+        """Return the position of ``name`` in the attribute order."""
+        for i, a in enumerate(self.attributes):
+            if a.name == name:
+                return i
+        raise KeyError(name)
+
+    def project(self, names) -> "Relation":
+        """Return a new Relation with only the named attributes, in the
+        given order."""
+        return Relation([self[n] for n in names])
+
+    def reorder(self, names) -> "Relation":
+        """Return a Relation with the same attributes in a new order.
+
+        ``names`` must be a permutation of the schema's attribute names;
+        this is how a schema sequence (Algorithm 4 output) is applied.
+        """
+        if sorted(names) != sorted(self.names):
+            raise ValueError(
+                f"{list(names)} is not a permutation of {self.names}"
+            )
+        return Relation([self[n] for n in names])
+
+    def log2_domain_size(self) -> float:
+        """log2 of the cross-product domain size (Table 1's 'Domain size')."""
+        return sum(math.log2(a.domain.size) for a in self.attributes)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.names})"

@@ -1,0 +1,196 @@
+"""A column-oriented table container backed by numpy arrays.
+
+The :class:`Table` is the database instance ``D`` of the paper: ``n``
+tuples over a :class:`~repro.schema.relation.Relation`.  Categorical
+columns hold int64 codes, numerical columns hold float64 values.  All
+operations are copy-on-write friendly: row/column selections return new
+Tables sharing no mutable state with the source unless documented.
+"""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+
+from repro.schema.domain import CategoricalDomain
+from repro.schema.relation import Relation
+
+
+class Table:
+    """An instance of a relation: a dict of aligned numpy columns.
+
+    Parameters
+    ----------
+    relation:
+        The schema.  Column order and domains come from here.
+    columns:
+        Mapping from attribute name to a 1-D numpy array.  All columns
+        must share the same length and cover exactly the schema.
+    validate:
+        If True (default), check that each column's values lie in the
+        attribute's domain.
+    """
+
+    def __init__(self, relation: Relation, columns: dict, validate: bool = True):
+        self.relation = relation
+        self.columns: dict[str, np.ndarray] = {}
+        lengths = set()
+        for attr in relation:
+            if attr.name not in columns:
+                raise ValueError(f"missing column {attr.name!r}")
+            col = np.asarray(columns[attr.name])
+            if attr.is_categorical:
+                col = col.astype(np.int64, copy=False)
+            else:
+                col = col.astype(np.float64, copy=False)
+            if col.ndim != 1:
+                raise ValueError(f"column {attr.name!r} must be 1-D")
+            lengths.add(col.shape[0])
+            self.columns[attr.name] = col
+        extra = set(columns) - set(relation.names)
+        if extra:
+            raise ValueError(f"columns not in schema: {sorted(extra)}")
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self.n = lengths.pop() if lengths else 0
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        for attr in self.relation:
+            if not attr.domain.validate_column(self.columns[attr.name]):
+                raise ValueError(
+                    f"column {attr.name!r} contains values outside its domain"
+                )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, relation: Relation, n: int) -> "Table":
+        """An all-zero table of ``n`` rows (used as a sampling canvas)."""
+        cols = {}
+        for attr in relation:
+            if attr.is_categorical:
+                cols[attr.name] = np.zeros(n, dtype=np.int64)
+            else:
+                cols[attr.name] = np.full(n, attr.domain.low, dtype=np.float64)
+        return cls(relation, cols, validate=False)
+
+    @classmethod
+    def from_rows(cls, relation: Relation, rows, encoded: bool = False) -> "Table":
+        """Build a table from an iterable of per-row value tuples.
+
+        If ``encoded`` is False, categorical cells are raw values and are
+        encoded through the domain; otherwise they are taken as codes.
+        """
+        rows = list(rows)
+        cols: dict[str, list] = {a.name: [] for a in relation}
+        for row in rows:
+            if len(row) != relation.arity:
+                raise ValueError(
+                    f"row arity {len(row)} != schema arity {relation.arity}"
+                )
+            for attr, cell in zip(relation, row):
+                cols[attr.name].append(cell)
+        out = {}
+        for attr in relation:
+            raw = cols[attr.name]
+            if attr.is_categorical and not encoded:
+                dom: CategoricalDomain = attr.domain
+                out[attr.name] = dom.encode_column(raw)
+            else:
+                out[attr.name] = np.asarray(raw)
+        return cls(relation, out)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the backing array for a column (not a copy)."""
+        return self.columns[name]
+
+    def row(self, i: int) -> dict:
+        """Return row ``i`` as a name -> code/value dict."""
+        return {name: col[i] for name, col in self.columns.items()}
+
+    def decoded_row(self, i: int) -> dict:
+        """Return row ``i`` with categorical codes decoded to raw values."""
+        out = {}
+        for attr in self.relation:
+            cell = self.columns[attr.name][i]
+            if attr.is_categorical:
+                out[attr.name] = attr.domain.decode(cell)
+            else:
+                out[attr.name] = float(cell)
+        return out
+
+    def take(self, indices) -> "Table":
+        """Return a new table containing the given rows (by position)."""
+        idx = np.asarray(indices)
+        cols = {name: col[idx].copy() for name, col in self.columns.items()}
+        return Table(self.relation, cols, validate=False)
+
+    def head(self, n: int) -> "Table":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self.n)))
+
+    def project(self, names) -> "Table":
+        """Return a new table with only the named columns."""
+        rel = self.relation.project(names)
+        cols = {n: self.columns[n].copy() for n in names}
+        return Table(rel, cols, validate=False)
+
+    def copy(self) -> "Table":
+        """Deep copy (columns are copied)."""
+        cols = {n: c.copy() for n, c in self.columns.items()}
+        return Table(self.relation, cols, validate=False)
+
+    def matrix(self, names=None) -> np.ndarray:
+        """Stack columns into an (n, k) float64 matrix (codes as floats)."""
+        names = list(names) if names is not None else self.relation.names
+        return np.stack(
+            [self.columns[n].astype(np.float64) for n in names], axis=1
+        )
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str) -> None:
+        """Write the table (decoded) to a CSV file with a header row."""
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(self.relation.names)
+            for i in range(self.n):
+                row = self.decoded_row(i)
+                writer.writerow([row[n] for n in self.relation.names])
+
+    @classmethod
+    def from_csv(cls, relation: Relation, path: str) -> "Table":
+        """Read a CSV (with header) into a table, encoding categoricals.
+
+        Numerical cells are parsed with ``float``; categorical cells are
+        matched as strings against the domain's values (which must then
+        be strings).
+        """
+        with open(path, newline="") as f:
+            reader = csv.reader(f)
+            header = next(reader)
+            if header != relation.names:
+                raise ValueError(
+                    f"CSV header {header} does not match schema {relation.names}"
+                )
+            rows = []
+            for raw in reader:
+                row = []
+                for attr, cell in zip(relation, raw):
+                    row.append(cell if attr.is_categorical else float(cell))
+                rows.append(row)
+        return cls.from_rows(relation, rows)
+
+    def __repr__(self) -> str:
+        return f"Table(n={self.n}, schema={self.relation.names})"

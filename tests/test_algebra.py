@@ -1,0 +1,210 @@
+"""Tests for DC-set normalization and minimization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import count_violations
+from repro.constraints.algebra import (
+    dc_signature,
+    fd_closure,
+    implied_fd,
+    is_trivial,
+    minimize_dcs,
+)
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.parser import parse_dc
+from repro.constraints.predicate import (
+    CONST, Operator, Predicate, TUPLE_I, TUPLE_J,
+)
+from repro.schema.domain import CategoricalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+
+
+# ----------------------------------------------------------------------
+# Signatures
+# ----------------------------------------------------------------------
+def test_signature_ignores_predicate_order():
+    a = parse_dc("not(ti.x == tj.x and ti.y != tj.y)")
+    b = parse_dc("not(ti.y != tj.y and ti.x == tj.x)")
+    assert dc_signature(a) == dc_signature(b)
+
+
+def test_signature_folds_ij_renaming():
+    a = parse_dc("not(ti.x == tj.x and ti.y > tj.y)")
+    b = parse_dc("not(tj.x == ti.x and tj.y > ti.y)")
+    assert dc_signature(a) == dc_signature(b)
+
+
+def test_signature_orients_order_predicates():
+    a = parse_dc("not(ti.y > tj.y)")
+    b = parse_dc("not(tj.y < ti.y)")
+    assert dc_signature(a) == dc_signature(b)
+
+
+def test_signature_distinguishes_direction():
+    a = parse_dc("not(ti.x > tj.x and ti.y < tj.y)")
+    b = parse_dc("not(ti.x > tj.x and ti.y > tj.y)")
+    assert dc_signature(a) != dc_signature(b)
+
+
+def test_signature_distinguishes_constants():
+    a = parse_dc("not(ti.x > 5)")
+    b = parse_dc("not(ti.x > 6)")
+    assert dc_signature(a) != dc_signature(b)
+
+
+# ----------------------------------------------------------------------
+# Triviality
+# ----------------------------------------------------------------------
+def test_self_comparison_is_trivial():
+    dc = DenialConstraint("t", [Predicate(TUPLE_I, "x", Operator.NE,
+                                          TUPLE_I, "x")])
+    assert is_trivial(dc)
+
+
+def test_contradictory_pair_is_trivial():
+    dc = parse_dc("not(ti.x == tj.x and ti.x != tj.x)")
+    assert is_trivial(dc)
+
+
+def test_contradictory_order_pair_is_trivial():
+    dc = parse_dc("not(ti.x > tj.x and ti.x <= tj.x)")
+    assert is_trivial(dc)
+
+
+def test_real_fd_is_not_trivial():
+    assert not is_trivial(parse_dc("not(ti.x == tj.x and ti.y != tj.y)"))
+
+
+def test_self_equality_not_trivial():
+    # ti.x == ti.x always holds; it does not make the DC unviolatable
+    # (the *other* predicates still can all hold).
+    dc = parse_dc("not(ti.x == ti.x and ti.y > 5)")
+    assert not is_trivial(dc)
+
+
+# ----------------------------------------------------------------------
+# FD closure / implication
+# ----------------------------------------------------------------------
+def test_fd_closure_transitivity():
+    fds = [(("a",), "b"), (("b",), "c")]
+    assert fd_closure({"a"}, fds) == {"a", "b", "c"}
+
+
+def test_fd_closure_composite_determinant():
+    fds = [(("a", "b"), "c")]
+    assert fd_closure({"a"}, fds) == {"a"}
+    assert fd_closure({"a", "b"}, fds) == {"a", "b", "c"}
+
+
+def test_implied_fd_reflexivity():
+    assert implied_fd(("a", "b"), "a", [])
+
+
+def test_implied_fd_augmentation():
+    # a -> c implies (a, b) -> c.
+    assert implied_fd(("a", "b"), "c", [(("a",), "c")])
+
+
+def test_implied_fd_negative():
+    assert not implied_fd(("a",), "c", [(("b",), "c")])
+
+
+# ----------------------------------------------------------------------
+# Minimization
+# ----------------------------------------------------------------------
+def test_minimize_drops_duplicates():
+    dcs = [parse_dc("not(ti.x == tj.x and ti.y != tj.y)", name="a"),
+           parse_dc("not(tj.y != ti.y and tj.x == ti.x)", name="b")]
+    out = minimize_dcs(dcs)
+    assert [dc.name for dc in out] == ["a"]
+
+
+def test_minimize_prefers_hard_over_soft_duplicate():
+    soft = parse_dc("not(ti.x == tj.x and ti.y != tj.y)", name="soft",
+                    hard=False)
+    hard = parse_dc("not(ti.x == tj.x and ti.y != tj.y)", name="hard",
+                    hard=True)
+    out = minimize_dcs([soft, hard])
+    assert len(out) == 1 and out[0].hard
+
+
+def test_minimize_drops_trivial():
+    dcs = [parse_dc("not(ti.x != ti.x)", name="trivial"),
+           parse_dc("not(ti.x == tj.x and ti.y != tj.y)", name="real")]
+    assert [dc.name for dc in minimize_dcs(dcs)] == ["real"]
+
+
+def test_minimize_drops_transitively_implied_fd():
+    dcs = [DenialConstraint.fd("ab", "a", "b"),
+           DenialConstraint.fd("bc", "b", "c"),
+           DenialConstraint.fd("ac", "a", "c")]   # implied by ab + bc
+    out = minimize_dcs(dcs)
+    assert sorted(dc.name for dc in out) == ["ab", "bc"]
+
+
+def test_minimize_drops_augmented_fd():
+    dcs = [DenialConstraint.fd("ab", "a", "b"),
+           DenialConstraint.fd("wide", ("a", "c"), "b")]  # implied
+    out = minimize_dcs(dcs)
+    assert [dc.name for dc in out] == ["ab"]
+
+
+def test_minimize_keeps_soft_fds_even_if_implied():
+    dcs = [DenialConstraint.fd("ab", "a", "b", hard=True),
+           DenialConstraint.fd("bc", "b", "c", hard=True),
+           DenialConstraint.fd("ac", "a", "c", hard=False)]
+    out = minimize_dcs(dcs)
+    assert sorted(dc.name for dc in out) == ["ab", "ac", "bc"]
+
+
+def test_minimize_keeps_order_dcs():
+    dcs = [parse_dc("not(ti.x > tj.x and ti.y < tj.y)", name="ord"),
+           DenialConstraint.fd("ab", "a", "b")]
+    out = minimize_dcs(dcs)
+    assert sorted(dc.name for dc in out) == ["ab", "ord"]
+
+
+def test_minimize_is_idempotent():
+    dcs = [DenialConstraint.fd("ab", "a", "b"),
+           DenialConstraint.fd("bc", "b", "c"),
+           DenialConstraint.fd("ac", "a", "c"),
+           parse_dc("not(ti.x > tj.x and ti.y < tj.y)", name="ord")]
+    once = minimize_dcs(dcs)
+    twice = minimize_dcs(once)
+    assert [dc.name for dc in once] == [dc.name for dc in twice]
+
+
+# ----------------------------------------------------------------------
+# Semantic safety: minimization never changes the violation semantics
+# of hard-FD sets (property test against brute-force counting)
+# ----------------------------------------------------------------------
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_minimized_set_has_same_zero_violation_verdict(data):
+    names = ["a", "b", "c", "d"]
+    relation = Relation([
+        Attribute(n, CategoricalDomain([f"{n}{i}" for i in range(3)]))
+        for n in names
+    ])
+    n_fds = data.draw(st.integers(1, 5))
+    fds = []
+    for f in range(n_fds):
+        det = data.draw(st.sampled_from(names))
+        dep = data.draw(st.sampled_from([n for n in names if n != det]))
+        fds.append(DenialConstraint.fd(f"fd{f}", det, dep, hard=True))
+    minimized = minimize_dcs(fds)
+    assert len(minimized) <= len(fds)
+
+    n = data.draw(st.integers(0, 8))
+    cols = {m: np.asarray(data.draw(st.lists(
+        st.integers(0, 2), min_size=n, max_size=n)), dtype=np.int64)
+        for m in names}
+    table = Table(relation, cols)
+    # A table satisfies the full set iff it satisfies the minimized set.
+    full_clean = all(count_violations(dc, table) == 0 for dc in fds)
+    mini_clean = all(count_violations(dc, table) == 0 for dc in minimized)
+    assert full_clean == mini_clean

@@ -1,0 +1,178 @@
+"""Tests for the repro-kamino command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, infer_schema, main
+from repro.datasets import load
+from repro.io import load_bundle, save_bundle
+from repro.privacy.ledger import PrivacyLedger
+
+
+@pytest.fixture
+def tpch_bundle(tmp_path):
+    dataset = load("tpch", n=80, seed=0)
+    directory = tmp_path / "tpch"
+    save_bundle(str(directory), dataset.table, dataset.dcs)
+    return str(directory)
+
+
+# ----------------------------------------------------------------------
+# Schema inference
+# ----------------------------------------------------------------------
+def test_infer_schema_mixed_types(tmp_path):
+    path = tmp_path / "raw.csv"
+    rows = ["name,score,age"]
+    rng = np.random.default_rng(0)
+    for i in range(60):
+        rows.append(f"user{i % 3},{rng.uniform():.6f},{20 + i}")
+    path.write_text("\n".join(rows) + "\n")
+    rel = infer_schema(str(path))
+    assert rel["name"].is_categorical
+    assert rel["name"].domain.size == 3
+    assert rel["score"].is_numerical and not rel["score"].domain.integer
+    assert rel["age"].is_numerical and rel["age"].domain.integer
+
+
+def test_infer_schema_numeric_small_cardinality_is_categorical(tmp_path):
+    path = tmp_path / "raw.csv"
+    lines = ["flag"] + [str(i % 2) for i in range(50)]
+    path.write_text("\n".join(lines) + "\n")
+    rel = infer_schema(str(path), categorical_threshold=20)
+    assert rel["flag"].is_categorical
+
+
+def test_infer_schema_rejects_empty(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("a,b\n")
+    with pytest.raises(ValueError, match="no data rows"):
+        infer_schema(str(path))
+
+
+def test_infer_schema_rejects_ragged(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("a,b\n1\n")
+    with pytest.raises(ValueError, match="cells"):
+        infer_schema(str(path))
+
+
+def test_cmd_infer_schema_writes_file(tmp_path, capsys):
+    path = tmp_path / "raw.csv"
+    path.write_text("x\n" + "\n".join(str(i) for i in range(30)) + "\n")
+    out = tmp_path / "schema.json"
+    assert main(["infer-schema", str(path), "--out", str(out)]) == 0
+    data = json.loads(out.read_text())
+    assert data["format"] == "repro.schema/1"
+
+
+def test_cmd_infer_schema_stdout(tmp_path, capsys):
+    path = tmp_path / "raw.csv"
+    path.write_text("x\na\nb\n")
+    assert main(["infer-schema", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert '"categorical"' in out
+
+
+# ----------------------------------------------------------------------
+# check / discover
+# ----------------------------------------------------------------------
+def test_cmd_check_reports_violations(tpch_bundle, capsys):
+    assert main(["check", tpch_bundle]) == 0
+    out = capsys.readouterr().out
+    assert "phi_h1" in out and "hard" in out
+
+
+def test_cmd_check_without_dcs(tmp_path, capsys):
+    dataset = load("tpch", n=20, seed=0)
+    directory = tmp_path / "nodc"
+    save_bundle(str(directory), dataset.table)
+    assert main(["check", str(directory)]) == 0
+    assert "no DCs" in capsys.readouterr().out
+
+
+def test_cmd_discover_prints_parseable_dcs(tpch_bundle, capsys):
+    assert main(["discover", tpch_bundle, "--limit", "4"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert 0 < len(out) <= 4
+    from repro.constraints.parser import parse_dc
+    for line in out:
+        head, _, body = line.partition(":")
+        parse_dc(body.strip())  # must round-trip through the grammar
+
+
+def test_cmd_discover_minimize_prunes(tpch_bundle, capsys):
+    assert main(["discover", tpch_bundle, "--limit", "32"]) == 0
+    full = len(capsys.readouterr().out.strip().splitlines())
+    assert main(["discover", tpch_bundle, "--limit", "32",
+                 "--minimize"]) == 0
+    minimized = len(capsys.readouterr().out.strip().splitlines())
+    assert 0 < minimized <= full
+
+
+# ----------------------------------------------------------------------
+# synthesize / evaluate / ledger
+# ----------------------------------------------------------------------
+def test_cmd_synthesize_and_evaluate(tpch_bundle, tmp_path, capsys):
+    out_dir = tmp_path / "synth"
+    ledger_path = tmp_path / "ledger.json"
+    code = main(["synthesize", tpch_bundle, "--epsilon", "1.0",
+                 "--out", str(out_dir), "--max-iterations", "8",
+                 "--ledger", str(ledger_path)])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "privacy: epsilon=" in text
+    assert "ledger" in text
+
+    bundle = load_bundle(str(out_dir))
+    assert bundle.n == 80
+    ledger = PrivacyLedger.load(str(ledger_path))
+    assert len(ledger) == 1
+    assert 0 < ledger.spent_epsilon() <= 1.0 + 1e-6
+
+    code = main(["evaluate", tpch_bundle, str(out_dir), "--alpha", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Metric I" in out and "Metric III" in out
+
+
+def test_cmd_synthesize_non_private(tpch_bundle, tmp_path, capsys):
+    out_dir = tmp_path / "synth_np"
+    code = main(["synthesize", tpch_bundle, "--epsilon", "inf",
+                 "--out", str(out_dir), "--max-iterations", "8",
+                 "--n", "40"])
+    assert code == 0
+    bundle = load_bundle(str(out_dir))
+    assert bundle.n == 40
+    assert "privacy:" not in capsys.readouterr().out
+
+
+def test_cmd_evaluate_schema_mismatch(tpch_bundle, tmp_path, capsys):
+    other = load("adult", n=20, seed=0)
+    directory = tmp_path / "adult"
+    save_bundle(str(directory), other.table, other.dcs)
+    assert main(["evaluate", tpch_bundle, str(directory)]) == 2
+
+
+def test_cmd_ledger_summary(tmp_path, capsys):
+    ledger = PrivacyLedger(delta=1e-6)
+    ledger.record_gaussian("hist", sigma=2.0)
+    path = tmp_path / "ledger.json"
+    ledger.save(str(path))
+    assert main(["ledger", str(path)]) == 0
+    assert "TOTAL" in capsys.readouterr().out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_cmd_check_show_rows(tmp_path, capsys):
+    dataset = load("br2000", n=60, seed=0)  # soft DCs -> violations exist
+    directory = tmp_path / "br"
+    save_bundle(str(directory), dataset.table, dataset.dcs)
+    assert main(["check", str(directory), "--show-rows", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "violation: row" in out

@@ -1,0 +1,71 @@
+"""Tests for the one-call method comparison API."""
+
+import pytest
+
+from repro.datasets import load
+from repro.evaluation import ReportCollection, compare_methods
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    dataset = load("tpch", n=120, seed=0)
+    return dataset, compare_methods(
+        dataset, methods=["PrivBayes", "Kamino"], epsilon=1.0, seed=0,
+        max_marginal_sets=5)
+
+
+def test_returns_report_collection(comparison):
+    _, collection = comparison
+    assert isinstance(collection, ReportCollection)
+    ids = [r.exp_id for r in collection.reports]
+    assert ids == ["Runtime", "Metric I", "Metric III"]
+
+
+def test_runtime_section_has_one_row_per_method(comparison):
+    _, collection = comparison
+    runtime = collection.reports[0]
+    assert [r["method"] for r in runtime.rows] == ["PrivBayes", "Kamino"]
+    assert all(r["seconds"] > 0 for r in runtime.rows)
+
+
+def test_violation_section_covers_every_dc(comparison):
+    dataset, collection = comparison
+    violations = collection.reports[1]
+    assert [r["dc"] for r in violations.rows] == \
+        [dc.name for dc in dataset.dcs]
+    for row in violations.rows:
+        assert set(row) >= {"dc", "truth", "PrivBayes", "Kamino"}
+
+
+def test_kamino_hard_dc_claim_checked(comparison):
+    _, collection = comparison
+    violations = collection.reports[1]
+    assert len(violations.claims) == 1
+    assert violations.claims[0].holds  # Kamino preserves TPC-H keys
+
+
+def test_marginal_section_has_both_alphas(comparison):
+    _, collection = comparison
+    marginals = collection.reports[2]
+    for row in marginals.rows:
+        assert 0.0 <= row["1-way"] <= 1.0
+        assert 0.0 <= row["2-way"] <= 1.0
+
+
+def test_markdown_renders(comparison):
+    _, collection = comparison
+    text = collection.to_markdown()
+    assert "# Method comparison on tpch" in text
+    assert "Metric I" in text and "Metric III" in text
+
+
+def test_classify_adds_metric_ii():
+    dataset = load("tpch", n=90, seed=1)
+    collection = compare_methods(
+        dataset, methods=["PrivBayes"], epsilon=1.0, seed=0,
+        classify=True, classify_targets=["o_orderstatus"],
+        max_marginal_sets=3)
+    ids = [r.exp_id for r in collection.reports]
+    assert "Metric II" in ids
+    panel = collection.reports[ids.index("Metric II")]
+    assert [r["method"] for r in panel.rows] == ["PrivBayes", "Truth"]

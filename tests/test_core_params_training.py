@@ -1,0 +1,175 @@
+"""Tests for Algorithm 6 (parameter search) and Algorithm 2 (training)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import KaminoParams, search_dp_params
+from repro.core.training import HistogramModel, ProbModel, train_model
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+def simple_relation():
+    return Relation([
+        Attribute("g", CategoricalDomain(["a", "b", "c"])),
+        Attribute("h", CategoricalDomain(["p", "q"])),
+        Attribute("x", NumericalDomain(0, 10)),
+    ])
+
+
+def simple_table(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    g = rng.integers(0, 3, n)
+    h = (g > 0).astype(np.int64)       # strong dependency h = f(g)
+    x = g * 3.0 + rng.normal(0, 0.4, n).clip(-1, 1) + 1.0
+    return Table(simple_relation(), {"g": g, "h": h, "x": x.clip(0, 10)})
+
+
+class TestSearchDpParams:
+    def test_budget_met(self):
+        rel = simple_relation()
+        params = search_dp_params(1.0, 1e-6, rel, ["g", "h", "x"], 2000)
+        assert params.achieved_epsilon <= 1.0
+        assert params.best_alpha >= 2
+
+    def test_larger_budget_more_iterations(self):
+        rel = simple_relation()
+        tight = search_dp_params(0.5, 1e-6, rel, ["g", "h", "x"], 2000)
+        loose = search_dp_params(4.0, 1e-6, rel, ["g", "h", "x"], 2000)
+        assert loose.iterations >= tight.iterations
+        assert loose.sigma_g <= tight.sigma_g
+
+    def test_learn_weights_costs_budget(self):
+        rel = simple_relation()
+        without = search_dp_params(1.0, 1e-6, rel, ["g", "h", "x"], 2000,
+                                   learn_weights=False)
+        with_w = search_dp_params(1.0, 1e-6, rel, ["g", "h", "x"], 2000,
+                                  learn_weights=True)
+        # The weight-learning run must fit the same budget, so the other
+        # knobs can only get equally or more conservative.
+        assert with_w.achieved_epsilon <= 1.0
+        assert with_w.iterations <= without.iterations
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            search_dp_params(0.0, 1e-6, simple_relation(),
+                             ["g", "h", "x"], 100)
+
+    def test_accounted_epsilon_recompute(self):
+        rel = simple_relation()
+        params = search_dp_params(1.0, 1e-6, rel, ["g", "h", "x"], 2000)
+        eps, alpha = params.accounted_epsilon()
+        assert eps == pytest.approx(params.achieved_epsilon)
+
+
+class TestHistogramModel:
+    def test_categorical_fit_normalised(self):
+        rng = np.random.default_rng(0)
+        table = simple_table()
+        hist = HistogramModel.fit(table.column("g"),
+                                  table.relation["g"], 2.0, 8, rng)
+        assert hist.probs.shape == (3,)
+        assert hist.probs.sum() == pytest.approx(1.0)
+        assert (hist.probs >= 0).all()
+
+    def test_numerical_fit_uses_quantizer(self):
+        rng = np.random.default_rng(0)
+        table = simple_table()
+        hist = HistogramModel.fit(table.column("x"),
+                                  table.relation["x"], 2.0, 8, rng)
+        assert hist.quantizer is not None
+        assert hist.probs.shape == (8,)
+
+    def test_nonprivate_exact(self):
+        rng = np.random.default_rng(0)
+        table = simple_table()
+        hist = HistogramModel.fit(table.column("g"), table.relation["g"],
+                                  2.0, 8, rng, private=False)
+        counts = np.bincount(table.column("g"), minlength=3)
+        np.testing.assert_allclose(hist.probs, counts / counts.sum())
+
+    def test_sampling_respects_distribution(self):
+        rng = np.random.default_rng(0)
+        table = simple_table(n=2000)
+        hist = HistogramModel.fit(table.column("g"), table.relation["g"],
+                                  2.0, 8, rng, private=False)
+        draws = hist.sample(20_000, rng)
+        freq = np.bincount(draws, minlength=3) / 20_000
+        np.testing.assert_allclose(freq, hist.probs, atol=0.02)
+
+    def test_numerical_samples_in_domain(self):
+        rng = np.random.default_rng(0)
+        table = simple_table()
+        hist = HistogramModel.fit(table.column("x"), table.relation["x"],
+                                  2.0, 8, rng)
+        draws = hist.sample(500, rng)
+        assert draws.min() >= 0 and draws.max() <= 10
+
+
+class TestTrainModel:
+    def _params(self, T=60):
+        return KaminoParams(epsilon=math.inf, delta=1e-6, iterations=T,
+                            embed_dim=8, lr=0.1, n=300, k=3)
+
+    def test_structure(self):
+        table = simple_table()
+        rng = np.random.default_rng(0)
+        model = train_model(table, table.relation, ["g", "h", "x"],
+                            self._params(), rng, private=False)
+        assert set(model.submodels) == {"h", "x"}
+        assert model.context_attrs["h"] == ["g"]
+        assert model.context_attrs["x"] == ["g", "h"]
+
+    def test_learns_dependency_nonprivate(self):
+        table = simple_table()
+        rng = np.random.default_rng(0)
+        model = train_model(table, table.relation, ["g", "h", "x"],
+                            self._params(T=250), rng, private=False)
+        probs = model.conditional("h", {"g": np.array([0, 1, 2])})
+        assert probs[0, 0] > 0.7          # g=a -> h=p
+        assert probs[1, 1] > 0.7 and probs[2, 1] > 0.7
+
+    def test_numerical_conditional(self):
+        table = simple_table()
+        rng = np.random.default_rng(0)
+        model = train_model(table, table.relation, ["g", "h", "x"],
+                            self._params(T=250), rng, private=False)
+        mu, sigma = model.conditional(
+            "x", {"g": np.array([0, 2]), "h": np.array([0, 1])})
+        assert mu[1] > mu[0]              # x grows with g
+        assert (sigma > 0).all()
+
+    def test_independent_attrs_excluded(self):
+        table = simple_table()
+        rng = np.random.default_rng(0)
+        model = train_model(table, table.relation, ["g", "h", "x"],
+                            self._params(), rng,
+                            independent_attrs=["h"], private=False)
+        assert "h" in model.independent
+        assert "h" not in model.submodels
+        assert model.context_attrs["x"] == ["g"]
+
+    def test_parallel_mode_runs(self):
+        table = simple_table()
+        rng = np.random.default_rng(0)
+        model = train_model(table, table.relation, ["g", "h", "x"],
+                            self._params(T=20), rng, parallel=True,
+                            private=False)
+        assert set(model.submodels) == {"h", "x"}
+
+    def test_private_mode_adds_noise(self):
+        table = simple_table()
+        params = self._params(T=10)
+        params.sigma_g = 2.0
+        params.sigma_d = 1.5
+        model_a = train_model(table, table.relation, ["g", "h", "x"],
+                              params, np.random.default_rng(1),
+                              private=True)
+        model_b = train_model(table, table.relation, ["g", "h", "x"],
+                              params, np.random.default_rng(2),
+                              private=True)
+        # Different noise draws -> different histograms.
+        assert not np.allclose(model_a.first.probs, model_b.first.probs)

@@ -1,0 +1,145 @@
+"""Tests for Algorithm 4 (sequencing) and the §4.3 structural helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import DenialConstraint, parse_dc
+from repro.core import group_small_domains, sequence_attributes
+from repro.core.hyper import HyperSpec
+from repro.core.sequencing import large_domain_attributes
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+def relation_with_sizes(sizes: dict) -> Relation:
+    attrs = []
+    for name, size in sizes.items():
+        attrs.append(Attribute(
+            name, CategoricalDomain([f"{name}{i}" for i in range(size)])))
+    return Relation(attrs)
+
+
+class TestSequencing:
+    def test_fd_lhs_before_rhs(self):
+        rel = relation_with_sizes({"x": 4, "y": 9, "z": 2})
+        fd = DenialConstraint.fd("f", "y", "x")
+        seq = sequence_attributes(rel, [fd])
+        assert seq.index("y") < seq.index("x")
+
+    def test_permutation(self):
+        rel = relation_with_sizes({"a": 3, "b": 5, "c": 2})
+        seq = sequence_attributes(rel, [])
+        assert sorted(seq) == ["a", "b", "c"]
+
+    def test_no_fds_sorted_by_domain(self):
+        rel = relation_with_sizes({"big": 9, "small": 2, "mid": 5})
+        assert sequence_attributes(rel, []) == ["small", "mid", "big"]
+
+    def test_fds_sorted_by_min_lhs_domain(self):
+        rel = relation_with_sizes({"a": 2, "b": 9, "c": 5, "d": 3})
+        fd_big = DenialConstraint.fd("big", "b", "c")    # lhs domain 9
+        fd_small = DenialConstraint.fd("small", "a", "d")  # lhs domain 2
+        seq = sequence_attributes(rel, [fd_big, fd_small])
+        assert seq.index("a") < seq.index("b")
+
+    def test_composite_lhs_sorted_by_size(self):
+        rel = relation_with_sizes({"p": 7, "q": 2, "y": 4})
+        fd = DenialConstraint.fd("f", ["p", "q"], "y")
+        seq = sequence_attributes(rel, [fd])
+        assert seq.index("q") < seq.index("p") < seq.index("y")
+
+    def test_non_fd_dcs_ignored_for_order(self):
+        rel = relation_with_sizes({"a": 3, "b": 5})
+        order = parse_dc("not(ti.a > tj.a and ti.b < tj.b)", "o")
+        assert sequence_attributes(rel, [order]) == ["a", "b"]
+
+
+class TestGrouping:
+    def test_groups_adjacent_small(self):
+        rel = relation_with_sizes({"a": 2, "b": 2, "c": 2, "d": 50})
+        groups = group_small_domains(rel, ["a", "b", "c", "d"],
+                                     max_group_domain=8)
+        assert groups == [["a", "b", "c"], ["d"]]
+
+    def test_respects_cap(self):
+        rel = relation_with_sizes({"a": 4, "b": 4, "c": 4})
+        groups = group_small_domains(rel, ["a", "b", "c"],
+                                     max_group_domain=16)
+        assert groups == [["a", "b"], ["c"]]
+
+    def test_numerical_breaks_group(self):
+        rel = Relation([
+            Attribute("a", CategoricalDomain(["0", "1"])),
+            Attribute("x", NumericalDomain(0, 10)),
+            Attribute("b", CategoricalDomain(["0", "1"])),
+        ])
+        groups = group_small_domains(rel, ["a", "x", "b"], 8)
+        assert groups == [["a"], ["x"], ["b"]]
+
+    def test_partition_covers_sequence(self):
+        rel = relation_with_sizes({"a": 2, "b": 3, "c": 7, "d": 2})
+        seq = ["b", "a", "d", "c"]
+        groups = group_small_domains(rel, seq, 12)
+        flat = [x for g in groups for x in g]
+        assert flat == seq
+
+    def test_large_domain_attributes(self):
+        rel = relation_with_sizes({"zip": 2000, "city": 400, "s": 2})
+        assert large_domain_attributes(rel, 1000) == ["zip"]
+        assert large_domain_attributes(rel, 100) == ["zip", "city"]
+
+
+class TestHyperSpec:
+    def _spec(self):
+        rel = relation_with_sizes({"a": 2, "b": 3, "c": 5})
+        return rel, HyperSpec(rel, [["a", "b"], ["c"]])
+
+    def test_working_relation(self):
+        rel, spec = self._spec()
+        assert spec.working_sequence == ["a+b", "c"]
+        assert spec.working_relation["a+b"].domain.size == 6
+
+    def test_is_hyper(self):
+        _, spec = self._spec()
+        assert spec.is_hyper("a+b") and not spec.is_hyper("c")
+        assert spec.original_attrs("a+b") == ["a", "b"]
+        assert spec.original_attrs("c") == ["c"]
+
+    def test_encode_decode_roundtrip(self):
+        rel, spec = self._spec()
+        rng = np.random.default_rng(0)
+        table = Table(rel, {
+            "a": rng.integers(0, 2, 30),
+            "b": rng.integers(0, 3, 30),
+            "c": rng.integers(0, 5, 30),
+        })
+        working = spec.encode_table(table)
+        back = spec.decode_table(working, rel)
+        for name in rel.names:
+            assert np.array_equal(back.column(name), table.column(name))
+
+    def test_code_roundtrip_all_values(self):
+        _, spec = self._spec()
+        codes = np.arange(6)
+        members = spec.decode_codes("a+b", codes)
+        again = spec.encode_codes("a+b", members)
+        assert np.array_equal(again, codes)
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 2),
+                              st.integers(0, 4)), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, rows):
+        rel, spec = self._spec()
+        a, b, c = (np.array(x) for x in zip(*rows))
+        table = Table(rel, {"a": a, "b": b, "c": c})
+        back = spec.decode_table(spec.encode_table(table), rel)
+        for name in rel.names:
+            assert np.array_equal(back.column(name), table.column(name))
+
+    def test_trivial_spec(self):
+        rel, _ = self._spec()
+        spec = HyperSpec.trivial(rel, ["a", "b", "c"])
+        assert spec.working_sequence == ["a", "b", "c"]
+        assert not any(spec.is_hyper(w) for w in spec.working_sequence)

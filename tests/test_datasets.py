@@ -1,0 +1,111 @@
+"""Dataset-generator tests: Table 1's structure must hold exactly."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import count_violations, violating_pair_percentage
+from repro.datasets import Dataset, dataset_names, load
+
+
+@pytest.fixture(scope="module", params=dataset_names())
+def dataset(request):
+    return load(request.param, n=300, seed=0)
+
+
+class TestAllDatasets:
+    def test_row_count(self, dataset):
+        assert dataset.n == 300
+
+    def test_schema_arity_matches_table1(self, dataset):
+        expected = {"adult": 15, "br2000": 14, "tax": 12, "tpch": 9}
+        assert dataset.k == expected[dataset.name]
+
+    def test_columns_in_domain(self, dataset):
+        for attr in dataset.relation:
+            assert attr.domain.validate_column(
+                dataset.table.column(attr.name)), attr.name
+
+    def test_dc_count_matches_table1(self, dataset):
+        expected = {"adult": 2, "br2000": 3, "tax": 6, "tpch": 4}
+        assert len(dataset.dcs) == expected[dataset.name]
+
+    def test_hard_dcs_hold_exactly(self, dataset):
+        for dc in dataset.hard_dcs():
+            assert count_violations(dc, dataset.table) == 0, dc.name
+
+    def test_seeds_give_different_data(self, dataset):
+        other = load(dataset.name, n=300, seed=1)
+        same = all(
+            np.array_equal(dataset.table.column(a), other.table.column(a))
+            for a in dataset.relation.names)
+        assert not same
+
+    def test_same_seed_reproducible(self, dataset):
+        again = load(dataset.name, n=300, seed=0)
+        for a in dataset.relation.names:
+            np.testing.assert_array_equal(dataset.table.column(a),
+                                          again.table.column(a))
+
+    def test_label_attrs_exist(self, dataset):
+        for name in dataset.label_attrs:
+            assert name in dataset.relation
+
+    def test_summary_mentions_name(self, dataset):
+        assert dataset.name in dataset.summary()
+
+
+class TestDatasetSpecifics:
+    def test_adult_hardness(self):
+        ds = load("adult", n=200, seed=0)
+        assert all(dc.hard for dc in ds.dcs)
+
+    def test_br2000_soft_rates_small_but_positive(self):
+        ds = load("br2000", n=500, seed=0)
+        assert all(not dc.hard for dc in ds.dcs)
+        for dc in ds.dcs:
+            rate = violating_pair_percentage(dc, ds.table)
+            assert 0.0 < rate < 5.0, (dc.name, rate)
+
+    def test_br2000_has_binary_run_for_grouping(self):
+        ds = load("br2000", n=100, seed=0)
+        binary = [a.name for a in ds.relation
+                  if a.is_categorical and a.domain.size == 2]
+        assert len(binary) >= 5
+
+    def test_tax_zip_is_large_domain(self):
+        ds = load("tax", n=100, seed=0)
+        assert ds.relation["zip"].domain.size > 1000
+
+    def test_tax_geography_fds(self):
+        ds = load("tax", n=400, seed=3)
+        zips = ds.table.column("zip")
+        cities = ds.table.column("city")
+        mapping = {}
+        for z, c in zip(zips, cities):
+            assert mapping.setdefault(z, c) == c
+
+    def test_tpch_fk_structure(self):
+        ds = load("tpch", n=400, seed=0)
+        cust = ds.table.column("c_custkey")
+        nation = ds.table.column("c_nationkey")
+        mapping = {}
+        for c, nk in zip(cust, nation):
+            assert mapping.setdefault(c, nk) == nk
+
+    def test_tpch_customers_have_multiple_orders(self):
+        ds = load("tpch", n=400, seed=0)
+        _, counts = np.unique(ds.table.column("c_custkey"),
+                              return_counts=True)
+        assert counts.max() >= 2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_adult_income_correlates_with_education(self):
+        ds = load("adult", n=2000, seed=0)
+        edu_num = ds.table.column("edu_num")
+        income = ds.table.column("income")
+        high = income[edu_num >= 13].mean()
+        low = income[edu_num <= 8].mean()
+        assert high > low + 0.1

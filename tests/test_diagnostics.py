@@ -1,0 +1,162 @@
+"""Tests for MCMC diagnostics and the expected-violation analysis."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probdb.diagnostics import (
+    ChainTrace,
+    constraint_adjusted_probabilities,
+    effective_sample_size,
+    expected_new_violations,
+    expected_violation_curve,
+    geweke_zscore,
+    has_converged,
+)
+
+
+# ----------------------------------------------------------------------
+# Geweke / ESS
+# ----------------------------------------------------------------------
+def test_chain_trace_records():
+    trace = ChainTrace()
+    for v in (1.0, 2.0, 3.0):
+        trace.record(v)
+    assert len(trace) == 3
+    np.testing.assert_array_equal(trace.array, [1.0, 2.0, 3.0])
+
+
+def test_geweke_small_for_stationary_chain():
+    rng = np.random.default_rng(0)
+    z = geweke_zscore(rng.normal(size=2000))
+    assert abs(z) < 3.0
+
+
+def test_geweke_large_for_trending_chain():
+    z = geweke_zscore(np.linspace(0.0, 10.0, 500))
+    assert abs(z) > 10.0
+
+
+def test_geweke_constant_chain_is_converged():
+    assert geweke_zscore(np.ones(100)) == 0.0
+    assert has_converged(np.ones(100))
+
+
+def test_geweke_constant_windows_different_means():
+    x = np.concatenate([np.zeros(50), np.ones(50)])
+    # First 10% and last 50% windows both have zero variance only if
+    # the last window is constant; here the last 50 are all ones.
+    z = geweke_zscore(np.concatenate([np.zeros(100), np.ones(100)]),
+                      first=0.1, last=0.4)
+    assert math.isinf(z) or abs(z) > 10
+
+
+def test_geweke_validates_inputs():
+    with pytest.raises(ValueError, match="1-D"):
+        geweke_zscore(np.ones((3, 3)))
+    with pytest.raises(ValueError, match="too short"):
+        geweke_zscore(np.ones(3))
+    with pytest.raises(ValueError, match="window fractions"):
+        geweke_zscore(np.ones(100), first=0.7, last=0.7)
+
+
+def test_has_converged_flags_trend():
+    assert not has_converged(np.linspace(0, 5, 400))
+    rng = np.random.default_rng(1)
+    assert has_converged(rng.normal(size=400))
+
+
+def test_ess_iid_close_to_n():
+    rng = np.random.default_rng(2)
+    n = 4000
+    ess = effective_sample_size(rng.normal(size=n))
+    assert ess > 0.5 * n
+
+
+def test_ess_autocorrelated_much_below_n():
+    rng = np.random.default_rng(3)
+    n = 2000
+    x = np.empty(n)
+    x[0] = 0.0
+    for i in range(1, n):  # AR(1), rho = 0.95
+        x[i] = 0.95 * x[i - 1] + rng.normal()
+    ess = effective_sample_size(x)
+    assert ess < 0.25 * n
+
+
+def test_ess_constant_chain():
+    assert effective_sample_size(np.ones(100)) == 100.0
+
+
+def test_ess_validates_length():
+    with pytest.raises(ValueError, match="too short"):
+        effective_sample_size(np.ones(2))
+
+
+# ----------------------------------------------------------------------
+# Expected violations (Appendix A)
+# ----------------------------------------------------------------------
+def test_adjusted_probabilities_finite_weight():
+    p = constraint_adjusted_probabilities([0.5, 0.5], [0, 1], weight=1.0)
+    # The violating candidate is down-weighted by e^{-1}.
+    assert p[0] == pytest.approx(1.0 / (1.0 + math.exp(-1)))
+    assert p.sum() == pytest.approx(1.0)
+
+
+def test_adjusted_probabilities_hard_weight_excludes_violators():
+    p = constraint_adjusted_probabilities(
+        [0.2, 0.3, 0.5], [0, 1, 2], weight=math.inf)
+    np.testing.assert_allclose(p, [1.0, 0.0, 0.0])
+
+
+def test_adjusted_probabilities_all_violating_falls_back():
+    p = constraint_adjusted_probabilities(
+        [0.4, 0.6], [2, 1], weight=math.inf)
+    # Minimum-violation candidate takes all the mass.
+    np.testing.assert_allclose(p, [0.0, 1.0])
+
+
+def test_adjusted_probabilities_zero_base_mass_on_feasible():
+    p = constraint_adjusted_probabilities(
+        [0.0, 1.0], [0, 3], weight=1e9)
+    np.testing.assert_allclose(p, [1.0, 0.0])
+
+
+def test_adjusted_probabilities_validates():
+    with pytest.raises(ValueError, match="shapes"):
+        constraint_adjusted_probabilities([0.5], [0, 1], 1.0)
+    with pytest.raises(ValueError, match=">= 0"):
+        constraint_adjusted_probabilities([-0.1, 1.1], [0, 0], 1.0)
+
+
+def test_expected_new_violations_zero_weight_is_base_expectation():
+    value = expected_new_violations([0.5, 0.5], [0.0, 2.0], weight=0.0)
+    assert value == pytest.approx(1.0)
+
+
+def test_expected_violation_curve_is_decreasing():
+    """Theorem 2's shape: exponential suppression as weights grow."""
+    curve = expected_violation_curve(
+        [0.25, 0.25, 0.25, 0.25], [0, 1, 2, 3],
+        weights=[0.0, 0.5, 1.0, 2.0, 4.0, 8.0])
+    values = [v for _, v in curve]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert values[-1] < 0.01 * max(values[0], 1e-12)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_property_higher_weight_never_increases_expectation(data):
+    d = data.draw(st.integers(2, 6))
+    probs = data.draw(st.lists(st.floats(0.01, 1.0), min_size=d,
+                               max_size=d))
+    vios = data.draw(st.lists(st.integers(0, 4), min_size=d, max_size=d))
+    w1 = data.draw(st.floats(0.0, 5.0))
+    w2 = data.draw(st.floats(0.0, 5.0))
+    lo, hi = min(w1, w2), max(w1, w2)
+    e_lo = expected_new_violations(probs, vios, lo)
+    e_hi = expected_new_violations(probs, vios, hi)
+    assert e_hi <= e_lo + 1e-9

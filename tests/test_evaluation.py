@@ -1,0 +1,149 @@
+"""Evaluation-metric and harness tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import load
+from repro.evaluation import (
+    METHODS, classification_report, dc_violation_report,
+    marginal_distances, run_method, total_variation_distance,
+    train_on_synthetic_test_on_true,
+)
+from repro.evaluation.harness import format_table, make_synthesizer
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+@pytest.fixture(scope="module")
+def adult_small():
+    return load("adult", n=220, seed=0)
+
+
+class TestTvd:
+    def setup_method(self):
+        self.relation = Relation([
+            Attribute("c", CategoricalDomain(["a", "b"])),
+            Attribute("x", NumericalDomain(0, 10)),
+        ])
+        self.table = Table.from_rows(self.relation, [
+            ["a", 1.0], ["a", 2.0], ["b", 8.0], ["b", 9.0],
+        ])
+
+    def test_identity_is_zero(self):
+        assert total_variation_distance(self.table, self.table,
+                                        ("c",)) == 0.0
+        assert total_variation_distance(self.table, self.table,
+                                        ("c", "x")) == 0.0
+
+    def test_disjoint_is_large(self):
+        other = Table.from_rows(self.relation, [
+            ["b", 1.0], ["b", 1.0], ["b", 1.0], ["b", 1.0],
+        ])
+        assert total_variation_distance(self.table, other,
+                                        ("c",)) == pytest.approx(0.5)
+
+    def test_l1_mode_geq_max_mode(self):
+        other = Table.from_rows(self.relation, [
+            ["a", 5.0], ["b", 5.0], ["b", 5.0], ["b", 5.0],
+        ])
+        d_max = total_variation_distance(self.table, other, ("c", "x"))
+        d_l1 = total_variation_distance(self.table, other, ("c", "x"),
+                                        mode="l1")
+        assert d_l1 >= d_max
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(self.table, self.table, ("c",),
+                                     mode="huh")
+
+    def test_marginal_distances_counts(self):
+        out1 = marginal_distances(self.table, self.table, alpha=1)
+        assert len(out1) == 2
+        out2 = marginal_distances(self.table, self.table, alpha=2)
+        assert len(out2) == 1
+        assert all(d == 0.0 for _, d in out1 + out2)
+
+    def test_marginal_sampling(self, adult_small):
+        out = marginal_distances(adult_small.table, adult_small.table,
+                                 alpha=2, max_sets=5)
+        assert len(out) == 5
+
+    @given(st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_bounded_01(self, seed):
+        rng = np.random.default_rng(seed)
+        a = Table(self.relation, {
+            "c": rng.integers(0, 2, 30), "x": rng.uniform(0, 10, 30)})
+        b = Table(self.relation, {
+            "c": rng.integers(0, 2, 30), "x": rng.uniform(0, 10, 30)})
+        d = total_variation_distance(a, b, ("c", "x"))
+        assert 0.0 <= d <= 1.0
+
+
+class TestModelTrainingMetric:
+    def test_truth_scores_high(self, adult_small):
+        scores = train_on_synthetic_test_on_true(
+            adult_small.table, adult_small.table, "income")
+        assert scores["accuracy"] > 0.7
+
+    def test_garbage_synth_scores_low(self, adult_small):
+        rng = np.random.default_rng(0)
+        cols = {}
+        for attr in adult_small.relation:
+            if attr.is_categorical:
+                cols[attr.name] = rng.integers(0, attr.domain.size,
+                                               adult_small.n)
+            else:
+                cols[attr.name] = attr.domain.clip(
+                    rng.uniform(attr.domain.low, attr.domain.high,
+                                adult_small.n))
+        garbage = Table(adult_small.relation, cols)
+        truth = train_on_synthetic_test_on_true(
+            adult_small.table, adult_small.table, "income")
+        noise = train_on_synthetic_test_on_true(
+            adult_small.table, garbage, "income")
+        assert noise["accuracy"] <= truth["accuracy"] + 0.05
+
+    def test_degenerate_labels_handled(self, adult_small):
+        constant = adult_small.table.copy()
+        constant.column("income")[:] = 0
+        scores = train_on_synthetic_test_on_true(
+            adult_small.table, constant, "income")
+        assert 0.0 <= scores["accuracy"] <= 1.0
+
+    def test_report_shape(self, adult_small):
+        rows = classification_report(adult_small.table, adult_small.table,
+                                     targets=["income", "sex"])
+        assert [r["target"] for r in rows] == ["income", "sex"]
+        assert all(0 <= r["f1"] <= 1 for r in rows)
+
+
+class TestHarness:
+    def test_methods_list(self):
+        assert set(METHODS) == {"DP-VAE", "NIST", "PrivBayes",
+                                "PATE-GAN", "Kamino"}
+
+    def test_unknown_method(self, adult_small):
+        with pytest.raises(KeyError):
+            make_synthesizer("nope", adult_small, 1.0)
+
+    def test_run_method_returns_table_and_time(self, adult_small):
+        table, secs = run_method("PrivBayes", adult_small, epsilon=1.0,
+                                 seed=0, n=60)
+        assert table.n == 60 and secs >= 0
+
+    def test_violation_report(self, adult_small):
+        table, _ = run_method("PrivBayes", adult_small, epsilon=1.0,
+                              seed=0, n=80)
+        rows = dc_violation_report(adult_small.dcs, adult_small.table,
+                                   {"PrivBayes": table})
+        assert len(rows) == len(adult_small.dcs)
+        assert all("truth" in r and "PrivBayes" in r for r in rows)
+        assert all(r["truth"] == 0.0 for r in rows)
+
+    def test_format_table(self):
+        text = format_table([{"dc": "x", "truth": 0.1234}],
+                            ["dc", "truth"])
+        assert "x" in text and "0.123" in text

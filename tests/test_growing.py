@@ -1,0 +1,178 @@
+"""Tests for the growing-database update policy (paper §3.2 / future
+work).  All runs use tiny instances with capped iterations."""
+
+import numpy as np
+import pytest
+
+from repro.core.growing import (
+    RESAMPLE,
+    RESEQUENCE,
+    RETRAIN,
+    GrowingSynthesizer,
+    fingerprint_distance,
+    noisy_fingerprint,
+)
+from repro.constraints.dc import DenialConstraint
+from repro.datasets import load
+from repro.privacy.ledger import PrivacyLedger
+from repro.schema.table import Table
+
+
+def _cap(params):
+    params.iterations = min(params.iterations, 10)
+    params.embed_dim = 6
+
+
+def _grown_version(table, extra: int = 30, seed: int = 99):
+    """The same population, grown: original rows plus a bootstrap of
+    ``extra`` more (different seeds of the tpch *generator* produce
+    different populations, so this is how stable growth is modeled)."""
+    rng = np.random.default_rng(seed)
+    new_rows = rng.integers(0, table.n, size=extra)
+    return table.take(np.concatenate([np.arange(table.n), new_rows]))
+
+
+def _make(dataset, **kwargs):
+    # Detection power scales with n * fingerprint_epsilon; tiny test
+    # instances need a loose fingerprint budget (documented behaviour).
+    defaults = dict(fingerprint_epsilon=20.0, shift_threshold=0.2,
+                    seed=0, params_override=_cap)
+    defaults.update(kwargs)
+    return GrowingSynthesizer(dataset.relation, dataset.dcs, epsilon=1.0,
+                              delta=1e-6, **defaults)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_has_one_histogram_per_attribute():
+    dataset = load("tpch", n=60, seed=0)
+    rng = np.random.default_rng(0)
+    fp = noisy_fingerprint(dataset.table, sigma=1.0, rng=rng)
+    assert len(fp) == dataset.relation.arity
+    for attr, hist in zip(dataset.relation, fp):
+        assert hist.ndim == 1
+        assert np.all(hist >= 0.0)  # post-processing clip
+
+
+def test_fingerprint_distance_zero_for_identical():
+    dataset = load("tpch", n=60, seed=0)
+    rng = np.random.default_rng(0)
+    fp = noisy_fingerprint(dataset.table, sigma=1.0, rng=rng)
+    assert fingerprint_distance(fp, fp) == 0.0
+
+
+def test_fingerprint_distance_detects_shift():
+    dataset = load("tpch", n=200, seed=0)
+    rng = np.random.default_rng(0)
+    low_noise = 1e-6
+    fp_a = noisy_fingerprint(dataset.table, low_noise, rng)
+    shifted = dataset.table.copy()
+    col = shifted.columns["o_totalprice"]
+    col[:] = col.max()  # collapse a numerical column
+    fp_b = noisy_fingerprint(shifted, low_noise, rng)
+    assert fingerprint_distance(fp_a, fp_b) > 0.3
+
+
+def test_fingerprint_distance_requires_matching_length():
+    with pytest.raises(ValueError, match="different attribute counts"):
+        fingerprint_distance([np.ones(2)], [np.ones(2), np.ones(2)])
+
+
+# ----------------------------------------------------------------------
+# Update policy
+# ----------------------------------------------------------------------
+def test_publish_then_resample_on_stable_data():
+    dataset = load("tpch", n=150, seed=0)
+    synth = _make(dataset)
+    first = synth.publish(dataset.table)
+    assert first.action == RESEQUENCE
+    assert first.result.table.n == dataset.n
+    assert synth.published
+
+    # Same population, grown by 20% (bootstrap of the same rows).
+    grown = _grown_version(dataset.table)
+    update = synth.update(grown)
+    assert update.action == RESAMPLE
+    assert update.epsilon_spent == pytest.approx(20.0)  # fingerprint only
+    assert update.result.table.n == grown.n
+
+
+def test_update_retrains_on_distribution_shift():
+    dataset = load("tpch", n=150, seed=0)
+    synth = _make(dataset, shift_threshold=0.1)
+    synth.publish(dataset.table)
+
+    shifted = dataset.table.copy()
+    shifted.columns["o_totalprice"][:] = \
+        shifted.columns["o_totalprice"].max()
+    shifted.columns["o_orderstatus"][:] = 0
+    decision = synth.update(shifted)
+    assert decision.action == RETRAIN
+    assert decision.shift > 0.1
+    assert decision.epsilon_spent > 20.0  # fingerprint + full run
+
+
+def test_update_reruns_on_sequence_changing_dcs():
+    dataset = load("tpch", n=120, seed=0)
+    synth = _make(dataset)
+    synth.publish(dataset.table)
+    # Dropping down to one FD with a different determinant changes
+    # Algorithm 4's output.
+    new_dcs = [DenialConstraint.fd("only", "o_orderstatus",
+                                   "o_orderpriority", hard=False)]
+    decision = synth.update(dataset.table, dcs=new_dcs)
+    assert decision.action == RESEQUENCE
+    assert "sequence" in decision.reason
+
+
+def test_ledger_accumulates_across_updates():
+    dataset = load("tpch", n=120, seed=0)
+    ledger = PrivacyLedger(delta=1e-6)
+    synth = _make(dataset, ledger=ledger)
+    synth.publish(dataset.table)
+    spent_after_publish = ledger.spent_epsilon()
+    assert spent_after_publish > 0
+    # One Kamino run + one fingerprint recorded.
+    assert len(ledger) == 2
+
+    synth.update(_grown_version(dataset.table))
+    # Resample adds only the fingerprint entry.
+    assert len(ledger) == 3
+    assert ledger.spent_epsilon() > spent_after_publish
+
+
+def test_update_before_publish_raises():
+    dataset = load("tpch", n=60, seed=0)
+    synth = _make(dataset)
+    with pytest.raises(RuntimeError, match="publish"):
+        synth.update(dataset.table)
+
+
+def test_double_publish_raises():
+    dataset = load("tpch", n=60, seed=0)
+    synth = _make(dataset)
+    synth.publish(dataset.table)
+    with pytest.raises(RuntimeError, match="already published"):
+        synth.publish(dataset.table)
+
+
+def test_constructor_validation():
+    dataset = load("tpch", n=20, seed=0)
+    with pytest.raises(ValueError, match="fingerprint_epsilon"):
+        GrowingSynthesizer(dataset.relation, dataset.dcs, 1.0,
+                           fingerprint_epsilon=0.0)
+    with pytest.raises(ValueError, match="shift_threshold"):
+        GrowingSynthesizer(dataset.relation, dataset.dcs, 1.0,
+                           shift_threshold=1.5)
+
+
+def test_resampled_instance_respects_hard_dcs():
+    dataset = load("tpch", n=150, seed=0)
+    synth = _make(dataset)
+    synth.publish(dataset.table)
+    update = synth.update(_grown_version(dataset.table))
+    assert update.action == RESAMPLE
+    from repro.constraints import count_violations
+    for dc in dataset.dcs:
+        assert count_violations(dc, update.result.table) == 0

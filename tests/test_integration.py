@@ -1,0 +1,155 @@
+"""Cross-module integration tests: the full pipeline on each workload,
+structural optimisations end-to-end, and the paper's headline claims at
+tiny scale."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import PrivBayes, repair_violations
+from repro.constraints import (
+    count_violations, discover_dcs, violating_pair_percentage,
+)
+from repro.core import Kamino
+from repro.datasets import load
+from repro.evaluation import (
+    marginal_distances, run_method, total_variation_distance,
+)
+
+
+def _cap(params):
+    params.iterations = min(params.iterations, 25)
+    params.embed_dim = 6
+
+
+@pytest.mark.parametrize("name", ["adult", "br2000", "tax", "tpch"])
+def test_full_pipeline_on_every_workload(name):
+    dataset = load(name, n=220, seed=0)
+    kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+                 seed=0, params_override=_cap)
+    result = kam.fit_sample(dataset.table)
+    assert result.table.n == dataset.n
+    assert result.params.achieved_epsilon <= 1.0
+    for attr in dataset.relation:
+        assert attr.domain.validate_column(
+            result.table.column(attr.name)), attr.name
+    for dc in dataset.hard_dcs():
+        assert violating_pair_percentage(dc, result.table) < 1.0, dc.name
+
+
+def test_headline_claim_kamino_beats_iid_baseline():
+    """Table 2's shape at tiny scale: Kamino's hard-DC violations are
+    below an i.i.d. synthesizer's by a wide margin."""
+    dataset = load("adult", n=220, seed=1)
+    kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+                 seed=0, params_override=_cap)
+    kamino_out = kam.fit_sample(dataset.table).table
+    privbayes_out = PrivBayes(1.0, seed=0).fit_sample(dataset.table)
+    for dc in dataset.dcs:
+        assert (violating_pair_percentage(dc, kamino_out)
+                < violating_pair_percentage(dc, privbayes_out))
+
+
+def test_tax_uses_large_domain_fallback():
+    dataset = load("tax", n=220, seed=0)
+    kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+                 seed=0, large_domain_threshold=1000,
+                 params_override=_cap)
+    result = kam.fit_sample(dataset.table)
+    assert "zip" in result.model.independent
+    # zip never appears as a sub-model context.
+    for target, context in result.model.context_attrs.items():
+        assert "zip" not in context
+
+
+def test_br2000_grouping_reduces_submodels():
+    dataset = load("br2000", n=220, seed=0)
+    grouped = Kamino(dataset.relation, dataset.dcs, epsilon=1.0,
+                     delta=1e-6, seed=0, group_max_domain=64,
+                     params_override=_cap)
+    plain = Kamino(dataset.relation, dataset.dcs, epsilon=1.0,
+                   delta=1e-6, seed=0, params_override=_cap)
+    res_grouped = grouped.fit_sample(dataset.table)
+    res_plain = plain.fit_sample(dataset.table)
+    assert (len(res_grouped.model.submodels)
+            < len(res_plain.model.submodels))
+    assert res_grouped.table.n == dataset.n
+
+
+def test_discovered_dcs_feed_kamino():
+    """Experiment 8's pipeline: discovery output is valid Kamino input."""
+    dataset = load("adult", n=220, seed=0)
+    discovered = discover_dcs(dataset.table, max_violation_rate=2.0,
+                              limit=6, sample_size=150, seed=0)
+    assert discovered
+    kam = Kamino(dataset.relation, discovered, epsilon=1.0, delta=1e-6,
+                 seed=0, params_override=_cap)
+    result = kam.fit_sample(dataset.table)
+    assert set(result.weights) == {dc.name for dc in discovered}
+
+
+def test_nonprivate_beats_private_on_marginals():
+    """Figure 6's shape: epsilon = inf produces better marginals than a
+    tight budget."""
+    dataset = load("adult", n=300, seed=0)
+
+    def richer(params):
+        params.iterations = min(params.iterations, 120)
+        params.embed_dim = 8
+
+    tight = Kamino(dataset.relation, dataset.dcs, epsilon=0.1,
+                   delta=1e-6, seed=0, params_override=_cap)
+    free = Kamino(dataset.relation, dataset.dcs, epsilon=math.inf,
+                  seed=0, params_override=richer)
+    tvd_tight = np.mean([d for _, d in marginal_distances(
+        dataset.table, tight.fit_sample(dataset.table).table, alpha=1)])
+    tvd_free = np.mean([d for _, d in marginal_distances(
+        dataset.table, free.fit_sample(dataset.table).table, alpha=1)])
+    assert tvd_free <= tvd_tight + 0.05
+
+
+def test_cleaning_pipeline_fixes_baseline_output():
+    """Figure 1's setup end-to-end: baseline output has violations,
+    repair removes (most of) them."""
+    dataset = load("tpch", n=220, seed=0)
+    synth, _ = run_method("DP-VAE", dataset, epsilon=1.0, seed=0)
+    before = sum(count_violations(dc, synth) for dc in dataset.dcs)
+    repaired = repair_violations(synth, dataset.dcs, seed=0)
+    after = sum(count_violations(dc, repaired) for dc in dataset.dcs)
+    assert before > 0
+    assert after < before
+
+
+def test_synthetic_output_is_deterministic_per_seed():
+    dataset = load("adult", n=200, seed=0)
+    outs = []
+    for _ in range(2):
+        kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0,
+                     delta=1e-6, seed=42, params_override=_cap)
+        outs.append(kam.fit_sample(dataset.table).table)
+    for name in dataset.relation.names:
+        np.testing.assert_array_equal(outs[0].column(name),
+                                      outs[1].column(name))
+
+
+def test_different_seeds_differ():
+    dataset = load("adult", n=200, seed=0)
+    a = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+               seed=1, params_override=_cap).fit_sample(dataset.table)
+    b = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+               seed=2, params_override=_cap).fit_sample(dataset.table)
+    same = all(np.array_equal(a.table.column(n), b.table.column(n))
+               for n in dataset.relation.names)
+    assert not same
+
+
+def test_synthesize_more_rows_than_input():
+    """The sampler is a generative model: n_out > n_in must work."""
+    dataset = load("tpch", n=150, seed=0)
+    kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=1e-6,
+                 seed=0, params_override=_cap)
+    result = kam.fit_sample(dataset.table, n=400)
+    assert result.table.n == 400
+    for dc in dataset.hard_dcs():
+        assert violating_pair_percentage(dc, result.table) < 1.0

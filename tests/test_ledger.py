@@ -1,0 +1,179 @@
+"""Tests for the privacy-budget ledger."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import KaminoParams
+from repro.privacy import kamino_epsilon, rdp_gaussian, sgm_epsilon
+from repro.privacy.ledger import (
+    BudgetExceededError,
+    LedgerEntry,
+    PrivacyLedger,
+)
+
+
+def test_empty_ledger_spends_nothing():
+    ledger = PrivacyLedger(delta=1e-6)
+    assert ledger.spent_epsilon() == 0.0
+    assert len(ledger) == 0
+
+
+def test_single_gaussian_matches_direct_conversion():
+    ledger = PrivacyLedger(delta=1e-6)
+    ledger.record_gaussian("hist", sigma=2.0)
+    eps, alpha = ledger.spent()
+    # Same as converting the Gaussian RDP curve directly.
+    from repro.privacy import rdp_to_epsilon
+    expected, expected_alpha = rdp_to_epsilon(
+        lambda a: rdp_gaussian(2.0, a), 1e-6)
+    assert eps == pytest.approx(expected)
+    assert alpha == expected_alpha
+
+
+def test_single_sgm_matches_sgm_epsilon():
+    ledger = PrivacyLedger(delta=1e-5)
+    ledger.record_sgm("dpsgd", q=0.01, sigma=1.2, steps=500)
+    assert ledger.spent_epsilon() == pytest.approx(
+        sgm_epsilon(1e-5, 0.01, 1.2, 500))
+
+
+def test_composition_is_tighter_than_epsilon_sum():
+    """RDP composition of two identical releases costs less than twice
+    one release's epsilon (the reason the ledger stores curves)."""
+    ledger = PrivacyLedger(delta=1e-6)
+    ledger.record_gaussian("a", sigma=3.0)
+    one = ledger.spent_epsilon()
+    ledger.record_gaussian("b", sigma=3.0)
+    two = ledger.spent_epsilon()
+    assert one < two < 2 * one
+
+
+def test_composition_is_monotone_in_entries():
+    ledger = PrivacyLedger(delta=1e-6)
+    previous = 0.0
+    for i in range(5):
+        ledger.record_gaussian(f"g{i}", sigma=2.0)
+        current = ledger.spent_epsilon()
+        assert current > previous
+        previous = current
+
+
+def test_record_kamino_matches_kamino_epsilon():
+    params = KaminoParams(epsilon=1.0, delta=1e-6, n=1000, k=5,
+                          sigma_g=2.0, sigma_d=1.3, batch=16,
+                          iterations=50)
+    ledger = PrivacyLedger(delta=1e-6)
+    ledger.record_kamino("run", params)
+    expected, _ = kamino_epsilon(
+        1e-6, sigma_g=2.0, sigma_d=1.3, T=50, k=5, b=16, n=1000)
+    assert ledger.spent_epsilon() == pytest.approx(expected)
+
+
+def test_record_kamino_rejects_non_private_params():
+    params = KaminoParams(epsilon=math.inf, delta=1e-6, n=100, k=3)
+    ledger = PrivacyLedger(delta=1e-6)
+    with pytest.raises(ValueError, match="non-private"):
+        ledger.record_kamino("run", params)
+
+
+def test_charge_respects_budget():
+    ledger = PrivacyLedger(delta=1e-6, budget_epsilon=1.0)
+    ledger.charge("ok", lambda a: rdp_gaussian(8.0, a))
+    with pytest.raises(BudgetExceededError):
+        ledger.charge("too big", lambda a: rdp_gaussian(0.5, a))
+    # The refused entry was not recorded.
+    assert len(ledger) == 1
+    assert ledger.remaining() > 0
+
+
+def test_remaining_never_negative():
+    ledger = PrivacyLedger(delta=1e-6, budget_epsilon=0.5)
+    ledger.record_gaussian("big", sigma=0.6)  # over budget via record_*
+    assert ledger.remaining() == 0.0
+
+
+def test_remaining_requires_budget():
+    ledger = PrivacyLedger(delta=1e-6)
+    with pytest.raises(ValueError, match="budget_epsilon"):
+        ledger.remaining()
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        PrivacyLedger(delta=0.0)
+    with pytest.raises(ValueError):
+        PrivacyLedger(delta=1e-6, budget_epsilon=-1.0)
+    with pytest.raises(ValueError):
+        PrivacyLedger(delta=1e-6, alphas=[1, 2])
+    ledger = PrivacyLedger(delta=1e-6)
+    with pytest.raises(ValueError):
+        ledger.record_gaussian("x", sigma=1.0, count=0)
+    with pytest.raises(ValueError):
+        ledger.record_sgm("x", q=0.1, sigma=1.0, steps=0)
+    with pytest.raises(ValueError, match="finite"):
+        ledger.record_rdp("x", lambda a: math.inf)
+
+
+def test_composed_rdp_requires_grid_alpha():
+    ledger = PrivacyLedger(delta=1e-6, alphas=[2, 4, 8])
+    ledger.record_gaussian("g", sigma=1.0)
+    assert ledger.composed_rdp(4) == pytest.approx(rdp_gaussian(1.0, 4))
+    with pytest.raises(ValueError, match="not on the ledger grid"):
+        ledger.composed_rdp(3)
+
+
+def test_save_load_round_trip(tmp_path):
+    ledger = PrivacyLedger(delta=1e-6, budget_epsilon=4.0)
+    ledger.record_gaussian("hist", sigma=2.0)
+    ledger.record_sgm("sgd", q=0.05, sigma=1.1, steps=100)
+    path = tmp_path / "ledger.json"
+    ledger.save(str(path))
+    back = PrivacyLedger.load(str(path))
+    assert back.delta == ledger.delta
+    assert back.budget_epsilon == 4.0
+    assert len(back) == 2
+    assert back.spent_epsilon() == pytest.approx(ledger.spent_epsilon())
+    assert isinstance(back.entries[0], LedgerEntry)
+
+
+def test_from_dict_rejects_bad_format():
+    with pytest.raises(ValueError, match="unsupported ledger format"):
+        PrivacyLedger.from_dict({"format": "nope"})
+
+
+def test_summary_mentions_every_entry_and_total():
+    ledger = PrivacyLedger(delta=1e-6, budget_epsilon=10.0)
+    ledger.record_gaussian("first", sigma=2.0)
+    ledger.record_gaussian("second", sigma=3.0)
+    text = ledger.summary()
+    assert "first" in text and "second" in text
+    assert "TOTAL" in text and "remaining" in text
+
+
+@given(sigmas=st.lists(st.floats(0.5, 20.0), min_size=1, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_property_composition_order_invariant(sigmas):
+    """Composed epsilon does not depend on recording order."""
+    forward = PrivacyLedger(delta=1e-6)
+    backward = PrivacyLedger(delta=1e-6)
+    for i, s in enumerate(sigmas):
+        forward.record_gaussian(f"f{i}", sigma=s)
+    for i, s in enumerate(reversed(sigmas)):
+        backward.record_gaussian(f"b{i}", sigma=s)
+    assert forward.spent_epsilon() == pytest.approx(
+        backward.spent_epsilon())
+
+
+@given(sigma=st.floats(0.5, 20.0), count=st.integers(1, 5))
+@settings(max_examples=25, deadline=None)
+def test_property_count_equals_repeated_entries(sigma, count):
+    """record_gaussian(count=k) == k separate single entries."""
+    bulk = PrivacyLedger(delta=1e-6)
+    bulk.record_gaussian("bulk", sigma=sigma, count=count)
+    single = PrivacyLedger(delta=1e-6)
+    for i in range(count):
+        single.record_gaussian(f"s{i}", sigma=sigma)
+    assert bulk.spent_epsilon() == pytest.approx(single.spent_epsilon())

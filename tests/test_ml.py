@@ -1,0 +1,151 @@
+"""Classifier-panel tests: every model must learn simple structure, and
+the feature/metric utilities must behave."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    CLASSIFIER_PANEL, FeatureEncoder, accuracy_score, binarize_target,
+    f1_score, DecisionTree, RegressionTree,
+)
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+def make_xor_free_data(n=500, seed=0):
+    """Linearly separable data with label noise."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 8))
+    y = ((X[:, 0] + 0.8 * X[:, 1] - 0.5 * X[:, 2]
+          + 0.3 * rng.normal(size=n)) > 0).astype(np.int64)
+    return X[:350], y[:350], X[350:], y[350:]
+
+
+def make_xor_data(n=600, seed=0):
+    """Non-linear XOR — trees/boosting/MLP must beat a linear model."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+    return X[:400], y[:400], X[400:], y[400:]
+
+
+class TestPanelOnLinearData:
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_PANEL))
+    def test_beats_chance_substantially(self, name):
+        Xtr, ytr, Xte, yte = make_xor_free_data()
+        clf = CLASSIFIER_PANEL[name](seed=0).fit(Xtr, ytr)
+        assert accuracy_score(yte, clf.predict(Xte)) > 0.75
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_PANEL))
+    def test_predictions_are_binary(self, name):
+        Xtr, ytr, Xte, yte = make_xor_free_data()
+        pred = CLASSIFIER_PANEL[name](seed=0).fit(Xtr, ytr).predict(Xte)
+        assert set(np.unique(pred)) <= {0, 1}
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIER_PANEL))
+    def test_unfit_raises(self, name):
+        clf = CLASSIFIER_PANEL[name](seed=0)
+        with pytest.raises(RuntimeError):
+            clf.predict(np.zeros((2, 3)))
+
+
+class TestNonLinear:
+    @pytest.mark.parametrize("name", ["DecisionTree", "RandomForest",
+                                      "GradientBoost", "XGBoost", "MLP",
+                                      "Bagging"])
+    def test_solves_xor(self, name):
+        Xtr, ytr, Xte, yte = make_xor_data()
+        clf = CLASSIFIER_PANEL[name](seed=0).fit(Xtr, ytr)
+        assert accuracy_score(yte, clf.predict(Xte)) > 0.8
+
+    def test_regression_tree_fits_step(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 1, size=(300, 1))
+        grad = np.where(X[:, 0] > 0.5, -2.0, 2.0)  # leaf values ~ -grad
+        tree = RegressionTree(max_depth=2, lam=0.0).fit(X, grad)
+        pred = tree.predict(np.array([[0.25], [0.75]]))
+        assert pred[0] < -1.0 and pred[1] > 1.0
+
+    def test_decision_tree_sample_weights(self):
+        # Weighting one class heavily should pull predictions that way.
+        X = np.array([[0.0], [0.0], [0.0], [1.0]])
+        y = np.array([0, 0, 0, 1])
+        heavy = np.array([1.0, 1.0, 1.0, 100.0])
+        tree = DecisionTree(max_depth=1, min_samples_leaf=1)
+        tree.fit(X, y, sample_weight=heavy)
+        assert tree.predict(np.array([[1.0]]))[0] == 1
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_accuracy_validation(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 0])
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+    def test_f1_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_f1_no_positives(self):
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_f1_known_value(self):
+        # tp=1, fp=1, fn=1 -> f1 = 2/(2+1+1) = 0.5
+        assert f1_score([1, 1, 0], [1, 0, 1]) == pytest.approx(0.5)
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_f1_bounded(self, pairs):
+        y_true = np.array([a for a, _ in pairs])
+        y_pred = np.array([b for _, b in pairs])
+        assert 0.0 <= f1_score(y_true, y_pred) <= 1.0
+
+
+class TestFeatures:
+    def setup_method(self):
+        self.relation = Relation([
+            Attribute("c", CategoricalDomain(["a", "b", "c"])),
+            Attribute("x", NumericalDomain(0, 100)),
+            Attribute("label", CategoricalDomain(["n", "y"])),
+        ])
+        self.table = Table.from_rows(self.relation, [
+            ["a", 10.0, "n"], ["b", 90.0, "y"], ["c", 50.0, "y"],
+        ])
+
+    def test_dim_counts(self):
+        enc = FeatureEncoder(self.relation, exclude=("label",))
+        assert enc.dim == 3 + 1
+
+    def test_one_hot_block(self):
+        enc = FeatureEncoder(self.relation, exclude=("label", "x"))
+        X = enc.transform(self.table)
+        assert X.tolist() == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+    def test_numeric_standardized(self):
+        enc = FeatureEncoder(self.relation, exclude=("label", "c"))
+        X = enc.transform(self.table)
+        assert X[0, 0] < 0 < X[1, 0]
+
+    def test_binarize_categorical_majority(self):
+        labels = binarize_target(self.table, "label")
+        # Majority value of label is "y" (two of three rows).
+        assert labels.tolist() == [0, 1, 1]
+
+    def test_binarize_numeric_median(self):
+        labels = binarize_target(self.table, "x")
+        assert labels.tolist() == [0, 1, 0]
+
+    def test_binarize_uses_reference(self):
+        other = Table.from_rows(self.relation, [
+            ["a", 95.0, "n"], ["a", 99.0, "n"],
+        ])
+        # Reference median comes from self.table (50), so both rows of
+        # `other` are above it.
+        labels = binarize_target(other, "x", reference=self.table)
+        assert labels.tolist() == [1, 1]

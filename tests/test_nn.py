@@ -1,0 +1,239 @@
+"""Neural-substrate tests: gradchecks for every layer, loss sanity, and
+optimizer behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import (
+    Adam, Attention, Embedding, Linear, NumericEncoder, Parameter, ReLU,
+    SGD, bce_with_logits_loss, cross_entropy_loss, gaussian_nll_loss,
+    gradcheck, log_softmax, mse_loss, relu, sigmoid, softmax,
+)
+from repro.nn.functional import one_hot, softmax_backward
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self):
+        out = softmax(np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(out.sum(axis=1), [1.0, 1.0])
+
+    def test_softmax_stable_large_inputs(self):
+        out = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_log_softmax_consistent(self):
+        x = np.random.default_rng(0).normal(size=(4, 5))
+        np.testing.assert_allclose(log_softmax(x), np.log(softmax(x)),
+                                   atol=1e-12)
+
+    def test_sigmoid_stable(self):
+        assert sigmoid(np.array([-1000.0]))[0] == pytest.approx(0.0)
+        assert sigmoid(np.array([1000.0]))[0] == pytest.approx(1.0)
+
+    def test_relu(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])),
+                                      [0.0, 0.0, 2.0])
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert out.tolist() == [[1, 0, 0], [0, 0, 1]]
+
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_softmax_property(self, xs):
+        out = softmax(np.array([xs]))
+        assert out.min() >= 0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_softmax_backward_orthogonal_to_ones(self):
+        # Softmax outputs sum to one, so the Jacobian maps any gradient
+        # to a vector orthogonal to the all-ones direction.
+        rng = np.random.default_rng(0)
+        alpha = softmax(rng.normal(size=(3, 5)))
+        g = rng.normal(size=(3, 5))
+        ds = softmax_backward(alpha, g)
+        np.testing.assert_allclose(ds.sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestLayerGradients:
+    def test_linear_gradcheck(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(3, 4, rng)
+        x = rng.normal(size=(5, 3))
+        y = np.array([0, 1, 2, 3, 0])
+
+        def loss():
+            losses, _ = cross_entropy_loss(lin.forward(x), y)
+            return losses.sum()
+
+        lin.zero_grad()
+        _, g = cross_entropy_loss(lin.forward(x), y)
+        lin.backward(g, per_sample=True)
+        gradcheck(loss, lin.parameters())
+
+    def test_linear_per_sample_sums_to_grad(self):
+        rng = np.random.default_rng(1)
+        lin = Linear(3, 2, rng)
+        x = rng.normal(size=(6, 3))
+        lin.zero_grad()
+        out = lin.forward(x)
+        lin.backward(np.ones_like(out), per_sample=True)
+        for p in lin.parameters():
+            np.testing.assert_allclose(p.grad_sample.sum(axis=0), p.grad)
+
+    def test_embedding_gradcheck(self):
+        rng = np.random.default_rng(2)
+        emb = Embedding(5, 3, rng)
+        idx = np.array([0, 2, 2, 4])
+        w = rng.normal(size=3)
+
+        def loss():
+            return float((emb.forward(idx) @ w).sum())
+
+        emb.zero_grad()
+        emb.forward(idx)
+        emb.backward(np.tile(w, (4, 1)), per_sample=True)
+        gradcheck(loss, emb.parameters())
+
+    def test_embedding_per_sample_shape(self):
+        rng = np.random.default_rng(3)
+        emb = Embedding(6, 4, rng)
+        emb.forward(np.array([1, 5]))
+        emb.backward(np.ones((2, 4)), per_sample=True)
+        assert emb.table.grad_sample.shape == (2, 6, 4)
+
+    def test_embedding_per_sample_guard(self):
+        rng = np.random.default_rng(4)
+        emb = Embedding(3, 2, rng)
+        emb.MAX_PER_SAMPLE_ROWS = 2
+        emb.forward(np.array([0]))
+        with pytest.raises(ValueError):
+            emb.backward(np.ones((1, 2)), per_sample=True)
+
+    def test_numeric_encoder_gradcheck(self):
+        rng = np.random.default_rng(5)
+        enc = NumericEncoder(4, rng, 0.0, 100.0)
+        x = np.array([10.0, 55.0, 90.0])
+
+        def loss():
+            z = enc.forward(x)
+            return float((z ** 2).sum())
+
+        enc.zero_grad()
+        z = enc.forward(x)
+        enc.backward(2 * z, per_sample=True)
+        gradcheck(loss, enc.parameters())
+
+    def test_attention_gradcheck(self):
+        rng = np.random.default_rng(6)
+        att = Attention(4, rng)
+        E = rng.normal(size=(5, 3, 4))
+        w = rng.normal(size=4)
+
+        def loss():
+            return float((att.forward(E) @ w).sum())
+
+        att.zero_grad()
+        att.forward(E)
+        att.backward(np.tile(w, (5, 1)), per_sample=True)
+        gradcheck(loss, att.parameters())
+
+    def test_attention_weights_simplex(self):
+        rng = np.random.default_rng(7)
+        att = Attention(4, rng)
+        att.forward(rng.normal(size=(6, 3, 4)))
+        weights = att.last_weights()
+        assert weights.shape == (6, 3)
+        np.testing.assert_allclose(weights.sum(axis=1), 1.0)
+        assert (weights >= 0).all()
+
+    def test_attention_input_gradient(self):
+        """Check dL/dE against finite differences."""
+        rng = np.random.default_rng(8)
+        att = Attention(3, rng)
+        E = rng.normal(size=(2, 2, 3))
+        w = rng.normal(size=3)
+        att.zero_grad()
+        att.forward(E)
+        gE = att.backward(np.tile(w, (2, 1)))
+        eps = 1e-6
+        for index in np.ndindex(E.shape):
+            E[index] += eps
+            up = float((att.forward(E) @ w).sum())
+            E[index] -= 2 * eps
+            down = float((att.forward(E) @ w).sum())
+            E[index] += eps
+            numeric = (up - down) / (2 * eps)
+            assert numeric == pytest.approx(gE[index], rel=1e-4, abs=1e-6)
+
+    def test_module_parameter_dedup(self):
+        rng = np.random.default_rng(9)
+        from repro.nn.layers import Module
+        shared = Parameter(np.zeros(3), name="shared")
+
+        class Holder(Module):
+            def __init__(self):
+                self.a = shared
+                self.b = {"alias": shared}
+
+        assert len(Holder().parameters()) == 1
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = np.array([[2.0, 0.0], [0.0, 2.0]])
+        losses, grad = cross_entropy_loss(logits, np.array([0, 0]))
+        manual = -np.log(softmax(logits)[np.arange(2), [0, 0]])
+        np.testing.assert_allclose(losses, manual)
+        np.testing.assert_allclose(grad[0], softmax(logits)[0] - [1, 0])
+
+    def test_gaussian_nll_gradients(self):
+        mu = np.array([1.0, -1.0])
+        ls = np.array([0.2, -0.3])
+        t = np.array([0.5, 0.5])
+        losses, g_mu, g_ls = gaussian_nll_loss(mu, ls, t)
+        eps = 1e-6
+        up, _, _ = gaussian_nll_loss(mu + eps, ls, t)
+        down, _, _ = gaussian_nll_loss(mu - eps, ls, t)
+        np.testing.assert_allclose((up - down) / (2 * eps), g_mu, rtol=1e-5)
+        up, _, _ = gaussian_nll_loss(mu, ls + eps, t)
+        down, _, _ = gaussian_nll_loss(mu, ls - eps, t)
+        np.testing.assert_allclose((up - down) / (2 * eps), g_ls, rtol=1e-5)
+
+    def test_mse(self):
+        losses, grad = mse_loss(np.array([2.0]), np.array([1.0]))
+        assert losses[0] == pytest.approx(1.0)
+        assert grad[0] == pytest.approx(2.0)
+
+    def test_bce_stable_and_correct(self):
+        logits = np.array([0.0, 1000.0, -1000.0])
+        targets = np.array([1.0, 1.0, 0.0])
+        losses, grad = bce_with_logits_loss(logits, targets)
+        assert np.isfinite(losses).all()
+        assert losses[1] == pytest.approx(0.0, abs=1e-9)
+        assert grad[0] == pytest.approx(-0.5)
+
+
+class TestOptimizers:
+    def _quadratic(self, optimizer_cls, **kwargs):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = optimizer_cls([p], **kwargs)
+        for _ in range(300):
+            opt.zero_grad()
+            p.grad = 2 * p.value  # d/dx of ||x||^2
+            opt.step()
+        return np.abs(p.value).max()
+
+    def test_sgd_converges(self):
+        assert self._quadratic(SGD, lr=0.1) < 1e-6
+
+    def test_adam_converges(self):
+        assert self._quadratic(Adam, lr=0.1) < 1e-3
+
+    def test_sgd_step_direction(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.5)
+        p.grad = np.array([2.0])
+        opt.step()
+        assert p.value[0] == pytest.approx(0.0)

@@ -1,0 +1,213 @@
+"""Privacy-substrate tests: mechanisms, RDP accounting, DP-SGD."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Linear, cross_entropy_loss
+from repro.privacy import (
+    DPSGD, GaussianMechanism, LaplaceMechanism, calibrate_sgm_sigma,
+    gaussian_sigma, histogram_l2_sensitivity, kamino_epsilon, kamino_rdp,
+    rdp_gaussian, rdp_sgm, rdp_to_epsilon, sgm_epsilon,
+    violation_matrix_sensitivity,
+)
+
+
+class TestMechanisms:
+    def test_gaussian_noise_scale(self):
+        rng = np.random.default_rng(0)
+        mech = GaussianMechanism(sensitivity=2.0, sigma=3.0, rng=rng)
+        out = mech.release(np.zeros(200_000))
+        assert np.std(out) == pytest.approx(6.0, rel=0.02)
+
+    def test_gaussian_rdp_scale_invariant(self):
+        rng = np.random.default_rng(0)
+        a = GaussianMechanism(1.0, 2.0, rng)
+        b = GaussianMechanism(100.0, 2.0, rng)
+        assert a.rdp(8) == b.rdp(8) == pytest.approx(1.0)
+
+    def test_laplace_noise_scale(self):
+        rng = np.random.default_rng(0)
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=0.5, rng=rng)
+        out = mech.release(np.zeros(200_000))
+        # Laplace std = sqrt(2) * scale.
+        assert np.std(out) == pytest.approx(np.sqrt(2) * 2.0, rel=0.02)
+
+    def test_gaussian_sigma_formula(self):
+        sigma = gaussian_sigma(1.0, 1e-5)
+        assert sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)))
+
+    def test_invalid_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            GaussianMechanism(-1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            GaussianMechanism(1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            LaplaceMechanism(1.0, 0.0, rng)
+        with pytest.raises(ValueError):
+            gaussian_sigma(0.0, 1e-5)
+        with pytest.raises(ValueError):
+            gaussian_sigma(1.0, 2.0)
+
+
+class TestSensitivity:
+    def test_histogram(self):
+        assert histogram_l2_sensitivity() == pytest.approx(math.sqrt(2))
+
+    def test_lemma1_binary_only(self):
+        # S_w = |phi_b| * sqrt(L^2 - L)
+        s = violation_matrix_sensitivity(0, 2, 50)
+        assert s == pytest.approx(2 * math.sqrt(50 * 49))
+
+    def test_lemma1_mixed(self):
+        s = violation_matrix_sensitivity(3, 1, 10)
+        assert s == pytest.approx(3 + math.sqrt(90))
+
+    def test_lemma1_validation(self):
+        with pytest.raises(ValueError):
+            violation_matrix_sensitivity(-1, 0, 10)
+        with pytest.raises(ValueError):
+            violation_matrix_sensitivity(0, 1, 0)
+
+
+class TestRdpAccountant:
+    def test_full_sampling_equals_gaussian(self):
+        for alpha in (2, 8, 32):
+            assert rdp_sgm(1.0, 1.3, alpha) == pytest.approx(
+                rdp_gaussian(1.3, alpha))
+
+    def test_subsampling_amplifies(self):
+        assert rdp_sgm(0.01, 1.1, 8) < rdp_sgm(1.0, 1.1, 8)
+
+    def test_monotone_in_q(self):
+        values = [rdp_sgm(q, 1.1, 8) for q in (0.001, 0.01, 0.1, 1.0)]
+        assert values == sorted(values)
+
+    def test_monotone_in_sigma(self):
+        values = [rdp_sgm(0.05, s, 8) for s in (2.0, 1.5, 1.0, 0.7)]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            rdp_sgm(0.0, 1.0, 8)
+        with pytest.raises(ValueError):
+            rdp_sgm(0.5, -1.0, 8)
+        with pytest.raises(ValueError):
+            rdp_sgm(0.5, 1.0, 1)
+        with pytest.raises(ValueError):
+            rdp_gaussian(0.0, 2)
+
+    def test_conversion_decreasing_in_delta(self):
+        eps_tight, _ = rdp_to_epsilon(lambda a: a / 8.0, 1e-9)
+        eps_loose, _ = rdp_to_epsilon(lambda a: a / 8.0, 1e-3)
+        assert eps_loose < eps_tight
+
+    def test_conversion_bad_delta(self):
+        with pytest.raises(ValueError):
+            rdp_to_epsilon(lambda a: 1.0, 0.0)
+
+    def test_kamino_rdp_composition_structure(self):
+        """Theorem 1 is additive over the three mechanism families."""
+        common = dict(sigma_g=4.0, sigma_d=1.1, T=10, k=5, b=16, n=1000)
+        base = kamino_rdp(8, **common)
+        with_w = kamino_rdp(8, **common, learn_weights=True, sigma_w=2.0,
+                            L_w=50)
+        assert with_w == pytest.approx(
+            base + rdp_sgm(50 / 1000, 2.0, 8))
+        two_hist = kamino_rdp(8, **common, n_hist=2)
+        assert two_hist == pytest.approx(base + rdp_gaussian(4.0, 8))
+
+    def test_kamino_rdp_submodel_override(self):
+        common = dict(sigma_g=4.0, sigma_d=1.1, T=10, b=16, n=1000)
+        full = kamino_rdp(8, k=5, **common)
+        fewer = kamino_rdp(8, k=5, n_submodels=2, **common)
+        assert fewer < full
+
+    def test_kamino_epsilon_monotone_in_T(self):
+        eps_small, _ = kamino_epsilon(1e-6, sigma_g=6.0, sigma_d=1.2,
+                                      T=10, k=5, b=16, n=5000)
+        eps_large, _ = kamino_epsilon(1e-6, sigma_g=6.0, sigma_d=1.2,
+                                      T=200, k=5, b=16, n=5000)
+        assert eps_small < eps_large
+
+    def test_calibration_meets_budget(self):
+        sigma = calibrate_sgm_sigma(1.0, 1e-6, q=0.01, steps=100)
+        assert sgm_epsilon(1e-6, 0.01, sigma, 100) <= 1.0
+        # And it is nearly tight: 10% less noise should break the budget.
+        assert sgm_epsilon(1e-6, 0.01, sigma * 0.9, 100) > 1.0
+
+    def test_calibration_unreachable(self):
+        with pytest.raises(ValueError):
+            calibrate_sgm_sigma(1e-9, 1e-6, q=1.0, steps=10_000,
+                                sigma_hi=5.0)
+
+    @given(st.integers(2, 32), st.floats(0.5, 3.0),
+           st.floats(0.001, 0.999))
+    @settings(max_examples=50, deadline=None)
+    def test_sgm_rdp_nonnegative(self, alpha, sigma, q):
+        assert rdp_sgm(q, sigma, alpha) >= 0.0
+
+
+class TestDPSGD:
+    def _setup(self, noise=0.0, clip=1.0, batch=4):
+        rng = np.random.default_rng(0)
+        lin = Linear(3, 2, rng)
+        x = rng.normal(size=(batch, 3))
+        y = rng.integers(0, 2, batch)
+        opt = DPSGD(lin.parameters(), lr=0.1, clip_norm=clip,
+                    noise_scale=noise, expected_batch=batch, rng=rng)
+        return lin, x, y, opt
+
+    def test_clip_factors_bound_norms(self):
+        lin, x, y, opt = self._setup(clip=0.01)
+        opt.zero_grad()
+        _, g = cross_entropy_loss(lin.forward(x), y)
+        lin.backward(g, per_sample=True)
+        factors = opt.clip_factors()
+        batch = x.shape[0]
+        clipped_sq = np.zeros(batch)
+        for p in lin.parameters():
+            flat = (p.grad_sample * factors.reshape(-1, *([1] *
+                    (p.grad_sample.ndim - 1)))).reshape(batch, -1)
+            clipped_sq += np.einsum("bi,bi->b", flat, flat)
+        assert np.all(np.sqrt(clipped_sq) <= 0.01 + 1e-9)
+
+    def test_noiseless_unclipped_matches_plain_sgd(self):
+        lin, x, y, opt = self._setup(noise=0.0, clip=1e9)
+        before = [p.value.copy() for p in lin.parameters()]
+        opt.zero_grad()
+        _, g = cross_entropy_loss(lin.forward(x), y)
+        lin.backward(g, per_sample=True)
+        summed = [p.grad.copy() for p in lin.parameters()]
+        opt.step()
+        for p, b, s in zip(lin.parameters(), before, summed):
+            np.testing.assert_allclose(p.value, b - 0.1 * s / x.shape[0],
+                                       atol=1e-12)
+
+    def test_empty_batch_still_noises(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(2, 2, rng)
+        opt = DPSGD(lin.parameters(), lr=0.1, clip_norm=1.0,
+                    noise_scale=1.0, expected_batch=8, rng=rng)
+        before = [p.value.copy() for p in lin.parameters()]
+        opt.zero_grad()
+        opt.step()
+        moved = any(not np.allclose(p.value, b)
+                    for p, b in zip(lin.parameters(), before))
+        assert moved  # noise applied even with no sampled rows
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        lin = Linear(2, 2, rng)
+        with pytest.raises(ValueError):
+            DPSGD(lin.parameters(), 0.1, clip_norm=0.0, noise_scale=1.0,
+                  expected_batch=4, rng=rng)
+        with pytest.raises(ValueError):
+            DPSGD(lin.parameters(), 0.1, clip_norm=1.0, noise_scale=-1.0,
+                  expected_batch=4, rng=rng)
+        with pytest.raises(ValueError):
+            DPSGD(lin.parameters(), 0.1, clip_norm=1.0, noise_scale=1.0,
+                  expected_batch=0, rng=rng)

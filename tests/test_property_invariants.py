@@ -1,0 +1,326 @@
+"""Cross-module property tests: invariants that tie the substrates to
+the core pipeline.
+
+These complement the per-module tests with hypothesis-driven checks on
+randomly generated schemas, FD sets, and tables — the places where a
+representation bug would silently corrupt the pipeline rather than
+crash it.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import repair_violations
+from repro.constraints import count_violations
+from repro.constraints.dc import DenialConstraint, active_dc_map
+from repro.constraints.parser import parse_dc
+from repro.constraints.predicate import (
+    CONST, Operator, Predicate, TUPLE_I, TUPLE_J,
+)
+from repro.constraints.violations import violating_pair_percentage
+from repro.core import Kamino, group_small_domains, sequence_attributes
+from repro.core.hyper import HyperSpec
+from repro.io.dc_text import format_dc
+from repro.privacy import kamino_epsilon
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+def schemas(min_attrs: int = 2, max_attrs: int = 6):
+    """Random all-categorical relations a1..ak with domain sizes 2-9."""
+    @st.composite
+    def build(draw):
+        k = draw(st.integers(min_attrs, max_attrs))
+        sizes = draw(st.lists(st.integers(2, 9), min_size=k, max_size=k))
+        return Relation([
+            Attribute(f"a{i}", CategoricalDomain(
+                [f"v{i}_{j}" for j in range(s)]))
+            for i, s in enumerate(sizes)
+        ])
+    return build()
+
+
+def acyclic_fd_sets(relation: Relation, draw) -> list[DenialConstraint]:
+    """Random FDs whose determinant index is below the dependent index
+    (guaranteeing an acyclic FD graph)."""
+    names = relation.names
+    n_fds = draw(st.integers(0, min(4, len(names) - 1)))
+    fds = []
+    for f in range(n_fds):
+        dep_idx = draw(st.integers(1, len(names) - 1))
+        det_idx = draw(st.integers(0, dep_idx - 1))
+        fds.append(DenialConstraint.fd(
+            f"fd{f}", names[det_idx], names[dep_idx], hard=True))
+    return fds
+
+
+def tables_for(relation: Relation, draw, max_rows: int = 12) -> Table:
+    n = draw(st.integers(0, max_rows))
+    cols = {}
+    for attr in relation:
+        cols[attr.name] = np.asarray(
+            draw(st.lists(st.integers(0, attr.domain.size - 1),
+                          min_size=n, max_size=n)), dtype=np.int64)
+    return Table(relation, cols)
+
+
+# ----------------------------------------------------------------------
+# Sequencing
+# ----------------------------------------------------------------------
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_sequence_is_always_a_permutation(data):
+    relation = data.draw(schemas())
+    fds = acyclic_fd_sets(relation, data.draw)
+    seq = sequence_attributes(relation, fds)
+    assert sorted(seq) == sorted(relation.names)
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_sequence_places_determinants_before_dependents(data):
+    """The paper's Algorithm 4 goal, guaranteed by the topological
+    refinement for acyclic FD graphs — for dependents determined by a
+    *single* FD (multi-FD dependents stay in greedy position to avoid
+    unsatisfiable joint constraints; see sequencing module docs)."""
+    relation = data.draw(schemas(min_attrs=3))
+    fds = acyclic_fd_sets(relation, data.draw)
+    seq = sequence_attributes(relation, fds)
+    position = {a: i for i, a in enumerate(seq)}
+    determined_by = {}
+    for dc in fds:
+        _, dependent = dc.as_fd()
+        determined_by[dependent] = determined_by.get(dependent, 0) + 1
+    for dc in fds:
+        determinant, dependent = dc.as_fd()
+        if determined_by[dependent] != 1:
+            continue
+        for det in determinant:
+            assert position[det] < position[dependent], (
+                f"{det} -> {dependent} inverted in {seq}")
+
+
+def test_sequence_mutual_fds_keep_both_orders_valid():
+    relation = Relation([
+        Attribute("x", CategoricalDomain(["a", "b"])),
+        Attribute("y", CategoricalDomain(["c", "d", "e"])),
+        Attribute("z", CategoricalDomain(["f", "g"])),
+    ])
+    fds = [DenialConstraint.fd("xy", "x", "y"),
+           DenialConstraint.fd("yx", "y", "x"),
+           DenialConstraint.fd("yz", "y", "z")]
+    seq = sequence_attributes(relation, fds)
+    assert sorted(seq) == ["x", "y", "z"]
+    # z depends on the {x, y} cycle, so it must come after both.
+    assert seq.index("z") > max(seq.index("x"), seq.index("y"))
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_group_small_domains_is_a_partition(data):
+    relation = data.draw(schemas())
+    seq = sequence_attributes(relation, [])
+    cap = data.draw(st.integers(2, 200))
+    groups = group_small_domains(relation, seq, cap)
+    flattened = [a for g in groups for a in g]
+    assert flattened == seq
+    for group in groups:
+        size = int(np.prod([relation[a].domain.size for a in group]))
+        if len(group) > 1:
+            assert size <= cap
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_active_dc_map_assigns_each_dc_once_at_cover(data):
+    relation = data.draw(schemas(min_attrs=3))
+    fds = acyclic_fd_sets(relation, data.draw)
+    seq = sequence_attributes(relation, fds)
+    mapping = active_dc_map(fds, seq)
+    assigned = [dc.name for dcs in mapping.values() for dc in dcs]
+    assert sorted(assigned) == sorted(dc.name for dc in fds)
+    for pos, attr in enumerate(seq):
+        prefix = set(seq[: pos + 1])
+        for dc in mapping[attr]:
+            assert dc.attributes <= prefix
+            # Not coverable one position earlier.
+            assert not dc.attributes <= prefix - {attr}
+
+
+# ----------------------------------------------------------------------
+# Hyper-attribute encode/decode
+# ----------------------------------------------------------------------
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_hyper_encode_decode_identity(data):
+    relation = data.draw(schemas(min_attrs=2, max_attrs=5))
+    seq = sequence_attributes(relation, [])
+    groups = group_small_domains(relation, seq, 64)
+    spec = HyperSpec(relation, groups)
+    table = tables_for(relation, data.draw)
+    working = spec.encode_table(table)
+    for w in spec.working_sequence:
+        if not spec.is_hyper(w):
+            continue
+        decoded = spec.decode_codes(w, working.column(w))
+        for member, col in decoded.items():
+            np.testing.assert_array_equal(col, table.column(member))
+
+
+# ----------------------------------------------------------------------
+# DC text format
+# ----------------------------------------------------------------------
+_OPS = [Operator.EQ, Operator.NE, Operator.GT, Operator.GE, Operator.LT,
+        Operator.LE]
+
+
+@given(st.data())
+@settings(max_examples=60, deadline=None)
+def test_format_parse_round_trip_random_dcs(data):
+    n_preds = data.draw(st.integers(1, 4))
+    preds = []
+    for _ in range(n_preds):
+        op = data.draw(st.sampled_from(_OPS))
+        lhs_attr = data.draw(st.sampled_from(["a", "b", "c"]))
+        if data.draw(st.booleans()):
+            const = data.draw(st.one_of(
+                st.integers(-100, 100),
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=["Ll", "Lu", "Nd"]),
+                    min_size=1, max_size=6)))
+            preds.append(Predicate(TUPLE_I, lhs_attr, op, CONST, None,
+                                   const))
+        else:
+            rhs_attr = data.draw(st.sampled_from(["a", "b", "c"]))
+            preds.append(Predicate(TUPLE_I, lhs_attr, op, TUPLE_J,
+                                   rhs_attr))
+    dc = DenialConstraint("rt", preds, hard=data.draw(st.booleans()))
+    text = format_dc(dc)
+    back = parse_dc(text, name="rt", hard=dc.hard)
+    assert len(back.predicates) == len(dc.predicates)
+    for p, q in zip(dc.predicates, back.predicates):
+        assert (p.lhs_var, p.lhs_attr, p.op) == (q.lhs_var, q.lhs_attr,
+                                                 q.op)
+        assert p.rhs_var == q.rhs_var
+        if p.is_constant:
+            assert q.const == p.const
+        else:
+            assert q.rhs_attr == p.rhs_attr
+    # Formatting is a fixed point after one round.
+    assert format_dc(back) == text
+
+
+# ----------------------------------------------------------------------
+# Violation counting bounds
+# ----------------------------------------------------------------------
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_violation_counts_within_bounds(data):
+    relation = data.draw(schemas(min_attrs=2, max_attrs=4))
+    fds = acyclic_fd_sets(relation, data.draw)
+    table = tables_for(relation, data.draw)
+    for dc in fds:
+        count = count_violations(dc, table)
+        assert 0 <= count <= table.n * (table.n - 1) // 2
+        pct = violating_pair_percentage(dc, table)
+        assert 0.0 <= pct <= 100.0
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_violations_monotone_under_row_subsets(data):
+    """The paper's §2.1 monotonicity: V(phi, D_hat) subset of V(phi, D)
+    for D_hat subset of D — so counts can only shrink."""
+    relation = data.draw(schemas(min_attrs=2, max_attrs=4))
+    fds = acyclic_fd_sets(relation, data.draw)
+    table = tables_for(relation, data.draw)
+    if table.n == 0 or not fds:
+        return
+    keep = data.draw(st.integers(0, table.n))
+    subset = table.take(np.arange(keep))
+    for dc in fds:
+        assert count_violations(dc, subset) <= count_violations(dc, table)
+
+
+# ----------------------------------------------------------------------
+# Repair
+# ----------------------------------------------------------------------
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_repair_eliminates_fd_violations(data):
+    relation = data.draw(schemas(min_attrs=2, max_attrs=4))
+    fds = acyclic_fd_sets(relation, data.draw)
+    table = tables_for(relation, data.draw)
+    repaired = repair_violations(table, fds, seed=0)
+    for dc in fds:
+        assert count_violations(dc, repaired) == 0
+    assert repaired.n == table.n
+
+
+# ----------------------------------------------------------------------
+# Accountant monotonicity
+# ----------------------------------------------------------------------
+BASE = dict(sigma_g=2.0, sigma_d=1.2, T=50, k=5, b=16, n=2000)
+
+
+@given(scale=st.floats(1.01, 4.0))
+@settings(max_examples=25, deadline=None)
+def test_epsilon_decreases_with_more_dpsgd_noise(scale):
+    lo, _ = kamino_epsilon(1e-6, **{**BASE, "sigma_d": BASE["sigma_d"]
+                                    * scale})
+    hi, _ = kamino_epsilon(1e-6, **BASE)
+    assert lo < hi
+
+
+@given(scale=st.floats(1.01, 4.0))
+@settings(max_examples=25, deadline=None)
+def test_epsilon_decreases_with_more_histogram_noise(scale):
+    lo, _ = kamino_epsilon(1e-6, **{**BASE, "sigma_g": BASE["sigma_g"]
+                                    * scale})
+    hi, _ = kamino_epsilon(1e-6, **BASE)
+    assert lo < hi
+
+
+@given(factor=st.integers(2, 8))
+@settings(max_examples=25, deadline=None)
+def test_epsilon_decreases_with_larger_population(factor):
+    """Sub-sampling amplification: same batch size over more rows."""
+    lo, _ = kamino_epsilon(1e-6, **{**BASE, "n": BASE["n"] * factor})
+    hi, _ = kamino_epsilon(1e-6, **BASE)
+    assert lo < hi
+
+
+# ----------------------------------------------------------------------
+# End-to-end hard-DC preservation across seeds
+# ----------------------------------------------------------------------
+def _cap(params):
+    params.iterations = min(params.iterations, 12)
+    params.embed_dim = 6
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_pipeline_preserves_hard_fd_across_seeds(seed):
+    rng = np.random.default_rng(seed)
+    relation = Relation([
+        Attribute("g", CategoricalDomain(["x", "y", "z"])),
+        Attribute("h", CategoricalDomain(["p", "q", "r", "s"])),
+        Attribute("w", NumericalDomain(0, 50, integer=True, bins=8)),
+    ])
+    g = rng.integers(0, 3, 150)
+    table = Table(relation, {
+        "g": g,
+        "h": (g + 1) % 3,                       # FD g -> h
+        "w": rng.integers(0, 51, 150).astype(float),
+    })
+    fd = DenialConstraint.fd("g_h", "g", "h", hard=True)
+    kamino = Kamino(relation, [fd], epsilon=1.0, delta=1e-6, seed=seed,
+                    params_override=_cap)
+    result = kamino.fit_sample(table)
+    assert count_violations(fd, result.table) == 0

@@ -1,0 +1,94 @@
+"""Tests for the Markdown experiment report builder."""
+
+import pytest
+
+from repro.evaluation.report import (
+    ClaimCheck,
+    ExperimentReport,
+    ReportCollection,
+    markdown_table,
+)
+
+
+def test_markdown_table_shape():
+    text = markdown_table([{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}],
+                          ["a", "b"])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 0.500 |"
+    assert len(lines) == 4
+
+
+def test_markdown_table_missing_cell_is_blank():
+    text = markdown_table([{"a": 1}], ["a", "b"])
+    assert text.splitlines()[2] == "| 1 |  |"
+
+
+def test_markdown_table_bool_rendering():
+    text = markdown_table([{"ok": True}, {"ok": False}], ["ok"])
+    assert "| yes |" in text and "| no |" in text
+
+
+def test_markdown_table_requires_columns():
+    with pytest.raises(ValueError):
+        markdown_table([], [])
+
+
+def test_claim_check_markdown():
+    assert ClaimCheck("it holds", True).to_markdown() == \
+        "- **PASS**: it holds"
+    assert ClaimCheck("it fails", False, "off by 2").to_markdown() == \
+        "- **FAIL**: it fails — off by 2"
+
+
+def test_report_add_row_extends_columns():
+    report = ExperimentReport("Table 2", "violations")
+    report.add_row(method="Kamino", value=0.0)
+    report.add_row(method="PrivBayes", value=1.2, extra="x")
+    assert report.columns == ["method", "value", "extra"]
+    assert len(report.rows) == 2
+
+
+def test_report_check_records_and_returns():
+    report = ExperimentReport("Fig 6", "epsilon sweep")
+    assert report.check("quality rises", True) is True
+    assert report.check("never worse", False, "one point off") is False
+    assert not report.all_claims_hold
+
+
+def test_report_markdown_contains_all_parts():
+    report = ExperimentReport("Table 3", "ablation")
+    report.add_row(variant="Kamino", violations=0.0)
+    report.check("fewest violations", True)
+    report.note("bench scale n=300")
+    text = report.to_markdown()
+    assert "### Table 3 — ablation" in text
+    assert "| variant | violations |" in text
+    assert "- **PASS**: fewest violations" in text
+    assert "> bench scale n=300" in text
+
+
+def test_collection_counts_claims_and_saves(tmp_path):
+    collection = ReportCollection("Kamino experiments",
+                                  preamble="All at eps=1.")
+    r1 = collection.new("Table 2", "violations")
+    r1.check("claim A", True)
+    r2 = collection.new("Figure 3", "classification")
+    r2.check("claim B", True)
+    r2.check("claim C", False)
+    text = collection.to_markdown()
+    assert text.startswith("# Kamino experiments")
+    assert "All at eps=1." in text
+    assert "Claim checks: 2/3 hold." in text
+    assert not collection.all_claims_hold
+
+    path = tmp_path / "EXPERIMENTS.md"
+    collection.save(str(path))
+    assert path.read_text() == text
+
+
+def test_collection_all_claims_hold_when_empty():
+    collection = ReportCollection("empty")
+    assert collection.all_claims_hold
+    assert "Claim checks" not in collection.to_markdown()

@@ -1,0 +1,160 @@
+"""Focused tests for the sampler's internal machinery: snap grids,
+consistent-candidate augmentation, feasible-interval endpoints, and the
+log-space sampling helper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constraints import parse_dc
+from repro.core.hyper import HyperSpec
+from repro.core.params import KaminoParams
+from repro.core.sampling import (
+    HARD_WEIGHT, _ColumnSampler, _gumbel_argmax, _log_normalise_sample,
+)
+from repro.core.training import train_model
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+def order_relation():
+    return Relation([
+        Attribute("s", CategoricalDomain(["a", "b"])),
+        Attribute("gain", NumericalDomain(0, 100, integer=True, bins=20)),
+        Attribute("loss", NumericalDomain(0, 100, integer=True, bins=20)),
+    ])
+
+
+ORDER = parse_dc("not(ti.gain > tj.gain and ti.loss < tj.loss)", "ord")
+COND_ORDER = parse_dc(
+    "not(ti.s == tj.s and ti.gain > tj.gain and ti.loss < tj.loss)",
+    "cord")
+
+
+def make_sampler(dcs, weights=None, table=None):
+    relation = order_relation()
+    if table is None:
+        rng = np.random.default_rng(0)
+        g = rng.integers(0, 100, 60).astype(float)
+        table = Table(relation, {
+            "s": rng.integers(0, 2, 60),
+            "gain": g,
+            "loss": np.clip(g // 2, 0, 100),
+        })
+    params = KaminoParams(epsilon=math.inf, delta=1e-6, iterations=30,
+                          embed_dim=6, lr=0.1, n=table.n, k=3)
+    rng = np.random.default_rng(0)
+    model = train_model(table, relation, ["s", "gain", "loss"], params,
+                        rng, private=False)
+    weights = weights if weights is not None else {dc.name: math.inf
+                                                   for dc in dcs}
+    hyper = HyperSpec.trivial(relation, model.sequence)
+    return _ColumnSampler(model, relation, hyper, dcs, weights, params,
+                          rng), table
+
+
+class TestLogSampling:
+    def test_respects_probabilities(self):
+        rng = np.random.default_rng(0)
+        log_p = np.log(np.array([0.9, 0.1]))
+        draws = [_log_normalise_sample(log_p, rng) for _ in range(2000)]
+        assert 0.85 < np.mean(np.array(draws) == 0) < 0.95
+
+    def test_all_excluded_falls_back_to_best(self):
+        rng = np.random.default_rng(0)
+        log_p = np.array([-1e12, -2e12, -1.5e12])
+        assert _log_normalise_sample(log_p, rng) == 0
+
+    def test_gumbel_argmax_shape_and_bias(self):
+        rng = np.random.default_rng(0)
+        log_p = np.log(np.tile([0.8, 0.2], (4000, 1)))
+        picks = _gumbel_argmax(log_p, rng)
+        assert picks.shape == (4000,)
+        assert 0.75 < np.mean(picks == 0) < 0.85
+
+
+class TestSnap:
+    def test_integer_domain_snaps_to_integers(self):
+        sampler, _ = make_sampler([ORDER])
+        out = sampler.snap("gain", np.array([3.4, 7.9]))
+        assert np.allclose(out, np.rint(out))
+
+    def test_non_dc_attr_untouched(self):
+        sampler, _ = make_sampler([ORDER])
+        vals = np.array([3.456, 9.999])
+        np.testing.assert_array_equal(sampler.snap("s", vals), vals)
+
+    def test_snap_picks_nearest(self):
+        sampler, _ = make_sampler([ORDER])
+        grid = sampler.snap_grids["gain"]
+        value = grid[3] + 0.2 * (grid[4] - grid[3])
+        assert sampler.snap("gain", np.array([value]))[0] == grid[3]
+
+
+class TestOrderInterval:
+    def test_endpoints_within_group(self):
+        sampler, _ = make_sampler([COND_ORDER])
+        cols = {
+            "s": np.array([0, 0, 1, 0]),
+            "gain": np.array([10.0, 50.0, 99.0, 0.0]),
+            "loss": np.array([5.0, 25.0, 2.0, 0.0]),
+        }
+        # Row 3 (s=0) has loss 0 sampled... choose target=gain for a new
+        # row with loss=10 in group s=0: below rows are loss {5,0} ->
+        # max gain 10; above rows loss {25} -> min gain 50.
+        cols_now = {k: v.copy() for k, v in cols.items()}
+        cols_now["loss"][3] = 10.0
+        endpoints = sampler._order_interval(COND_ORDER, "gain",
+                                            cols_now, 3)
+        assert sorted(endpoints) == [10.0, 50.0]
+
+    def test_no_group_match_is_empty(self):
+        sampler, _ = make_sampler([COND_ORDER])
+        cols = {
+            "s": np.array([1, 1, 0]),
+            "gain": np.array([10.0, 50.0, 0.0]),
+            "loss": np.array([5.0, 25.0, 0.0]),
+        }
+        assert sampler._order_interval(COND_ORDER, "gain", cols, 2) == []
+
+    def test_fd_shape_returns_empty(self):
+        fd = parse_dc("not(ti.s == tj.s and ti.gain != tj.gain)", "fd")
+        sampler, _ = make_sampler([fd])
+        cols = {"s": np.array([0, 0]), "gain": np.array([1.0, 1.0]),
+                "loss": np.array([0.0, 0.0])}
+        assert sampler._order_interval(fd, "gain", cols, 1) == []
+
+
+class TestWeightHandling:
+    def test_hard_weight_applied(self):
+        sampler, _ = make_sampler([ORDER])
+        assert sampler.weight_of(ORDER) == HARD_WEIGHT
+
+    def test_infinite_soft_weight_treated_as_hard(self):
+        soft = parse_dc("not(ti.gain > tj.gain and ti.loss < tj.loss)",
+                        "soft", hard=False)
+        sampler, _ = make_sampler([soft], weights={"soft": math.inf})
+        assert sampler.weight_of(soft) == HARD_WEIGHT
+
+    def test_missing_weight_defaults_to_zero(self):
+        soft = parse_dc("not(ti.gain > tj.gain and ti.loss < tj.loss)",
+                        "soft", hard=False)
+        sampler, _ = make_sampler([soft], weights={})
+        assert sampler.weight_of(soft) == 0.0
+
+
+class TestActiveAssignment:
+    def test_dc_assigned_to_covering_position(self):
+        sampler, _ = make_sampler([ORDER, COND_ORDER])
+        seq = sampler.wseq
+        last = max(seq.index("gain"), seq.index("loss"))
+        assert ORDER in sampler.active_at[last]
+        last_cond = max(seq.index(a) for a in ("s", "gain", "loss"))
+        assert COND_ORDER in sampler.active_at[last_cond]
+
+    def test_unknown_attribute_rejected(self):
+        bogus = parse_dc("not(ti.zzz > 5)", "bogus")
+        with pytest.raises(ValueError):
+            make_sampler([bogus])

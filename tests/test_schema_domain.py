@@ -1,0 +1,122 @@
+"""Unit tests for attribute domains."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.schema import CategoricalDomain, NumericalDomain
+
+
+class TestCategoricalDomain:
+    def test_encode_decode_roundtrip(self):
+        dom = CategoricalDomain(["a", "b", "c"])
+        for value in dom.values:
+            assert dom.decode(dom.encode(value)) == value
+
+    def test_encode_column(self):
+        dom = CategoricalDomain(["x", "y"])
+        codes = dom.encode_column(["y", "x", "y"])
+        assert codes.tolist() == [1, 0, 1]
+        assert codes.dtype == np.int64
+
+    def test_decode_column(self):
+        dom = CategoricalDomain(["x", "y"])
+        assert dom.decode_column(np.array([0, 1, 0])) == ["x", "y", "x"]
+
+    def test_size_and_len(self):
+        dom = CategoricalDomain(list("abcd"))
+        assert dom.size == 4
+        assert len(dom) == 4
+
+    def test_contains(self):
+        dom = CategoricalDomain(["a"])
+        assert dom.contains("a")
+        assert not dom.contains("b")
+
+    def test_validate_column(self):
+        dom = CategoricalDomain(["a", "b"])
+        assert dom.validate_column(np.array([0, 1, 1]))
+        assert not dom.validate_column(np.array([0, 2]))
+        assert not dom.validate_column(np.array([-1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDomain([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDomain(["a", "a"])
+
+    def test_unknown_value_raises(self):
+        dom = CategoricalDomain(["a"])
+        with pytest.raises(KeyError):
+            dom.encode("zzz")
+
+    def test_is_categorical_flag(self):
+        dom = CategoricalDomain(["a"])
+        assert dom.is_categorical and not dom.is_numerical
+
+
+class TestNumericalDomain:
+    def test_bounds_and_width(self):
+        dom = NumericalDomain(0, 10)
+        assert dom.low == 0 and dom.high == 10 and dom.width == 10
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            NumericalDomain(5, 1)
+        with pytest.raises(ValueError):
+            NumericalDomain(float("nan"), 1)
+        with pytest.raises(ValueError):
+            NumericalDomain(0, float("inf"))
+
+    def test_clip_continuous(self):
+        dom = NumericalDomain(0, 10)
+        out = dom.clip(np.array([-5.0, 5.5, 20.0]))
+        assert out.tolist() == [0.0, 5.5, 10.0]
+
+    def test_clip_integer_rounds(self):
+        dom = NumericalDomain(0, 10, integer=True)
+        out = dom.clip(np.array([2.4, 2.6]))
+        assert out.tolist() == [2.0, 3.0]
+
+    def test_contains(self):
+        dom = NumericalDomain(0, 10, integer=True)
+        assert dom.contains(5)
+        assert not dom.contains(5.5)
+        assert not dom.contains(11)
+
+    def test_validate_column(self):
+        dom = NumericalDomain(0, 1)
+        assert dom.validate_column(np.array([0.0, 0.5, 1.0]))
+        assert not dom.validate_column(np.array([1.5]))
+
+    def test_size_continuous_is_bins(self):
+        assert NumericalDomain(0, 1, bins=7).size == 7
+
+    def test_size_integer_capped_by_span(self):
+        assert NumericalDomain(0, 3, integer=True, bins=32).size == 4
+
+    def test_bin_edges(self):
+        edges = NumericalDomain(0, 10).bin_edges(5)
+        assert edges.shape == (6,)
+        assert edges[0] == 0 and edges[-1] == 10
+
+    def test_bins_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NumericalDomain(0, 1, bins=0)
+
+
+@given(st.lists(st.integers(0, 1000), min_size=1, max_size=50, unique=True))
+def test_categorical_roundtrip_property(values):
+    dom = CategoricalDomain(values)
+    codes = dom.encode_column(values)
+    assert dom.decode_column(codes) == values
+
+
+@given(st.floats(-1e6, 1e6), st.floats(0, 1e6))
+def test_numerical_clip_stays_in_domain(low, span):
+    dom = NumericalDomain(low, low + span)
+    vals = np.linspace(low - span - 1, low + 2 * span + 1, 11)
+    clipped = dom.clip(vals)
+    assert np.all(clipped >= dom.low) and np.all(clipped <= dom.high)

@@ -1,0 +1,77 @@
+"""Unit and property tests for quantisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Quantizer, Relation,
+    Table, quantize_table,
+)
+from repro.schema.quantize import dequantize_table
+
+
+class TestQuantizer:
+    def test_encode_bounds(self):
+        quant = Quantizer(NumericalDomain(0, 10), 5)
+        codes = quant.encode(np.array([0.0, 9.99, 10.0, 2.5]))
+        assert codes.min() >= 0 and codes.max() <= 4
+        assert codes[0] == 0 and codes[2] == 4
+
+    def test_decode_inside_bins(self):
+        dom = NumericalDomain(0, 10)
+        quant = Quantizer(dom, 5)
+        rng = np.random.default_rng(0)
+        vals = quant.decode(np.array([0, 2, 4]), rng)
+        assert 0 <= vals[0] < 2
+        assert 4 <= vals[1] < 6
+        assert 8 <= vals[2] <= 10
+
+    def test_centers(self):
+        quant = Quantizer(NumericalDomain(0, 10), 5)
+        np.testing.assert_allclose(quant.centers(), [1, 3, 5, 7, 9])
+
+    def test_requires_numerical(self):
+        with pytest.raises(TypeError):
+            Quantizer(CategoricalDomain(["a"]), 2)
+
+    def test_bad_q(self):
+        with pytest.raises(ValueError):
+            Quantizer(NumericalDomain(0, 1), 0)
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_stays_in_bin(self, values):
+        quant = Quantizer(NumericalDomain(0, 100), 8)
+        codes = quant.encode(np.array(values))
+        decoded = quant.decode(codes, np.random.default_rng(0))
+        assert np.array_equal(quant.encode(decoded), codes)
+
+
+class TestQuantizeTable:
+    def setup_method(self):
+        self.relation = Relation([
+            Attribute("c", CategoricalDomain(["a", "b"])),
+            Attribute("x", NumericalDomain(0, 100)),
+        ])
+        self.table = Table.from_rows(self.relation, [
+            ["a", 5.0], ["b", 55.0], ["a", 95.0],
+        ])
+
+    def test_numeric_becomes_categorical(self):
+        disc, quants = quantize_table(self.table, q=4)
+        assert disc.relation["x"].is_categorical
+        assert disc.relation["x"].domain.size == 4
+        assert "x" in quants
+
+    def test_categorical_untouched(self):
+        disc, _ = quantize_table(self.table, q=4)
+        assert disc.column("c").tolist() == self.table.column("c").tolist()
+
+    def test_dequantize_roundtrip_bins(self):
+        disc, quants = quantize_table(self.table, q=4)
+        rng = np.random.default_rng(0)
+        back = dequantize_table(disc, self.relation, quants, rng)
+        orig_bins = quants["x"].encode(self.table.column("x"))
+        back_bins = quants["x"].encode(back.column("x"))
+        assert np.array_equal(orig_bins, back_bins)

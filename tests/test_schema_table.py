@@ -1,0 +1,167 @@
+"""Unit tests for Relation and Table."""
+
+import numpy as np
+import pytest
+
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+    train_test_split,
+)
+
+
+@pytest.fixture
+def relation():
+    return Relation([
+        Attribute("color", CategoricalDomain(["red", "green", "blue"])),
+        Attribute("size", NumericalDomain(0, 100)),
+    ])
+
+
+@pytest.fixture
+def table(relation):
+    return Table.from_rows(relation, [
+        ["red", 10.0], ["green", 20.0], ["blue", 30.0], ["red", 40.0],
+    ])
+
+
+class TestRelation:
+    def test_lookup(self, relation):
+        assert relation["color"].is_categorical
+        assert relation["size"].is_numerical
+
+    def test_unknown_attribute(self, relation):
+        with pytest.raises(KeyError):
+            relation["nope"]
+
+    def test_names_order(self, relation):
+        assert relation.names == ["color", "size"]
+
+    def test_arity(self, relation):
+        assert relation.arity == 2 and len(relation) == 2
+
+    def test_contains(self, relation):
+        assert "color" in relation and "nope" not in relation
+
+    def test_index_of(self, relation):
+        assert relation.index_of("size") == 1
+
+    def test_project(self, relation):
+        assert relation.project(["size"]).names == ["size"]
+
+    def test_reorder(self, relation):
+        assert relation.reorder(["size", "color"]).names == ["size", "color"]
+
+    def test_reorder_requires_permutation(self, relation):
+        with pytest.raises(ValueError):
+            relation.reorder(["size"])
+
+    def test_duplicate_names_rejected(self):
+        attr = Attribute("a", CategoricalDomain(["x"]))
+        with pytest.raises(ValueError):
+            Relation([attr, attr])
+
+    def test_log2_domain_size(self, relation):
+        expected = np.log2(3) + np.log2(relation["size"].domain.size)
+        assert relation.log2_domain_size() == pytest.approx(expected)
+
+
+class TestTable:
+    def test_from_rows_encodes(self, table):
+        assert table.column("color").tolist() == [0, 1, 2, 0]
+
+    def test_len(self, table):
+        assert len(table) == 4 and table.n == 4
+
+    def test_row_and_decoded_row(self, table):
+        assert table.row(1)["color"] == 1
+        assert table.decoded_row(1) == {"color": "green", "size": 20.0}
+
+    def test_take(self, table):
+        sub = table.take([2, 0])
+        assert sub.column("size").tolist() == [30.0, 10.0]
+
+    def test_take_is_a_copy(self, table):
+        sub = table.take([0])
+        sub.column("size")[0] = 999.0
+        assert table.column("size")[0] == 10.0
+
+    def test_head(self, table):
+        assert table.head(2).n == 2
+
+    def test_project(self, table):
+        proj = table.project(["size"])
+        assert proj.relation.names == ["size"]
+        assert proj.n == 4
+
+    def test_copy_independent(self, table):
+        dup = table.copy()
+        dup.column("color")[0] = 2
+        assert table.column("color")[0] == 0
+
+    def test_matrix(self, table):
+        m = table.matrix()
+        assert m.shape == (4, 2)
+        assert m[0].tolist() == [0.0, 10.0]
+
+    def test_missing_column_rejected(self, relation):
+        with pytest.raises(ValueError):
+            Table(relation, {"color": np.array([0])})
+
+    def test_extra_column_rejected(self, relation):
+        with pytest.raises(ValueError):
+            Table(relation, {"color": np.array([0]),
+                             "size": np.array([1.0]),
+                             "bogus": np.array([1])})
+
+    def test_ragged_columns_rejected(self, relation):
+        with pytest.raises(ValueError):
+            Table(relation, {"color": np.array([0, 1]),
+                             "size": np.array([1.0])})
+
+    def test_domain_validation(self, relation):
+        with pytest.raises(ValueError):
+            Table(relation, {"color": np.array([7]),
+                             "size": np.array([1.0])})
+
+    def test_empty_canvas(self, relation):
+        empty = Table.empty(relation, 5)
+        assert empty.n == 5
+        assert empty.column("size").tolist() == [0.0] * 5
+
+    def test_csv_roundtrip(self, table, tmp_path):
+        path = str(tmp_path / "t.csv")
+        table.to_csv(path)
+        back = Table.from_csv(table.relation, path)
+        assert back.column("color").tolist() == table.column("color").tolist()
+        np.testing.assert_allclose(back.column("size"),
+                                   table.column("size"))
+
+    def test_csv_header_mismatch(self, table, relation, tmp_path):
+        path = str(tmp_path / "t.csv")
+        with open(path, "w") as f:
+            f.write("wrong,header\n")
+        with pytest.raises(ValueError):
+            Table.from_csv(relation, path)
+
+
+class TestSplit:
+    def test_sizes(self, table):
+        train, test = train_test_split(table, 0.25, seed=1)
+        assert test.n == 1 and train.n == 3
+
+    def test_aligned_across_tables(self, table):
+        other = table.copy()
+        train_a, test_a = train_test_split(table, 0.25, seed=7)
+        train_b, test_b = train_test_split(other, 0.25, seed=7)
+        assert test_a.column("size").tolist() == test_b.column("size").tolist()
+
+    def test_bad_fraction(self, table):
+        with pytest.raises(ValueError):
+            train_test_split(table, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(table, 1.0)
+
+    def test_degenerate_split(self, relation):
+        tiny = Table.from_rows(relation, [["red", 1.0]])
+        with pytest.raises(ValueError):
+            train_test_split(tiny, 0.5)

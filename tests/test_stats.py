@@ -1,0 +1,124 @@
+"""Tests for DP data profiling (repro.schema.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load
+from repro.privacy.ledger import PrivacyLedger
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.stats import (
+    AttributeProfile,
+    profile_sensitivity,
+    release_profile,
+)
+from repro.schema.table import Table
+
+
+def _table(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    relation = Relation([
+        Attribute("color", CategoricalDomain(["red", "green", "blue"])),
+        Attribute("size", NumericalDomain(0.0, 10.0, bins=8)),
+    ])
+    color = rng.choice(3, size=n, p=[0.7, 0.2, 0.1])
+    size = rng.uniform(2.0, 8.0, size=n)
+    return Table(relation, {"color": color, "size": size})
+
+
+def test_profile_contains_every_attribute():
+    table = _table()
+    profile, _ = release_profile(table, sigma=0.5,
+                                 rng=np.random.default_rng(0))
+    assert [a.name for a in profile.attributes] == ["color", "size"]
+    assert profile["color"].kind == "categorical"
+    assert profile["size"].kind == "numerical"
+    with pytest.raises(KeyError):
+        profile["nope"]
+
+
+def test_row_count_exact_under_bounded_dp():
+    """Under replace-one neighbours n is invariant, so it is released
+    exactly."""
+    table = _table(n=123)
+    profile, _ = release_profile(table, sigma=1.0,
+                                 rng=np.random.default_rng(0))
+    assert profile.n == 123
+
+
+def test_histograms_nonnegative_and_roughly_correct():
+    table = _table(n=2000)
+    profile, _ = release_profile(table, sigma=0.05,
+                                 rng=np.random.default_rng(1))
+    hist = profile["color"].histogram
+    assert np.all(hist >= 0)
+    # At low noise the majority class is identified.
+    assert profile["color"].top_values(1) == ["red"]
+
+
+def test_numerical_moments_close_at_low_noise():
+    table = _table(n=3000)
+    profile, _ = release_profile(table, sigma=0.01,
+                                 rng=np.random.default_rng(2))
+    size = profile["size"]
+    true = table.column("size")
+    assert size.mean == pytest.approx(true.mean(), abs=0.3)
+    assert size.std == pytest.approx(true.std(), abs=0.5)
+
+
+def test_more_noise_means_noisier_histogram():
+    table = _table(n=500)
+    true_counts = np.bincount(table.column("color").astype(np.int64),
+                              minlength=3)
+    errors = {}
+    for sigma in (0.01, 5.0):
+        err = 0.0
+        for seed in range(5):
+            profile, _ = release_profile(
+                table, sigma=sigma, rng=np.random.default_rng(seed))
+            err += float(np.abs(profile["color"].histogram
+                                - true_counts).sum())
+        errors[sigma] = err
+    assert errors[0.01] < errors[5.0]
+
+
+def test_rdp_fn_matches_gaussian_and_ledgers():
+    table = _table()
+    profile, rdp_fn = release_profile(table, sigma=2.0,
+                                      rng=np.random.default_rng(0))
+    assert rdp_fn(10) == pytest.approx(10 / (2 * 4.0))
+    ledger = PrivacyLedger(delta=1e-6)
+    ledger.record_rdp("profile", rdp_fn)
+    assert ledger.spent_epsilon() > 0
+
+
+def test_sensitivity_grows_with_schema():
+    small = Relation([Attribute("a", CategoricalDomain(["x", "y"]))])
+    big = Relation([
+        Attribute("a", CategoricalDomain(["x", "y"])),
+        Attribute("b", NumericalDomain(0.0, 100.0)),
+    ])
+    assert profile_sensitivity(big) > profile_sensitivity(small)
+
+
+def test_empty_table_rejected():
+    relation = Relation([Attribute("a", CategoricalDomain(["x"]))])
+    table = Table(relation, {"a": np.array([], dtype=np.int64)})
+    with pytest.raises(ValueError, match="empty"):
+        release_profile(table, sigma=1.0, rng=np.random.default_rng(0))
+
+
+def test_summary_mentions_every_attribute():
+    dataset = load("tpch", n=100, seed=0)
+    profile, _ = release_profile(dataset.table, sigma=0.5,
+                                 rng=np.random.default_rng(0))
+    text = profile.summary()
+    for attr in dataset.relation:
+        assert attr.name in text
+
+
+def test_top_values_order():
+    profile = AttributeProfile(
+        name="x", kind="categorical",
+        histogram=np.array([1.0, 9.0, 5.0]), labels=["a", "b", "c"])
+    assert profile.top_values(2) == ["b", "c"]

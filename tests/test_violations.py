@@ -1,0 +1,239 @@
+"""Violation-counting engine tests, including brute-force cross-checks
+and hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import (
+    DenialConstraint, count_violations, candidate_violation_counts,
+    incremental_violations, multi_candidate_violation_counts, parse_dc,
+    violating_pair_percentage, violating_pairs, violation_matrix,
+)
+from repro.datasets import load
+from repro.constraints.predicate import TUPLE_I, TUPLE_J
+from repro.schema import (
+    Attribute, CategoricalDomain, NumericalDomain, Relation, Table,
+)
+
+
+def small_relation():
+    return Relation([
+        Attribute("a", NumericalDomain(0, 5, integer=True, bins=6)),
+        Attribute("b", NumericalDomain(0, 5, integer=True, bins=6)),
+        Attribute("c", CategoricalDomain(["x", "y", "z"])),
+    ])
+
+
+def make_table(rows):
+    return Table.from_rows(small_relation(), rows, encoded=True)
+
+
+FD = parse_dc("not(ti.c == tj.c and ti.a != tj.a)", name="fd")
+ORDER = parse_dc("not(ti.a > tj.a and ti.b < tj.b)", name="ord")
+UNARY = parse_dc("not(ti.a > 3 and ti.b < 2)", name="un")
+
+
+def brute_force_pairs(dc, table):
+    """O(n^2) reference implementation of unordered-pair counting."""
+    cols = {a: table.column(a) for a in dc.attributes}
+    count = 0
+    for i in range(table.n):
+        for j in range(i + 1, table.n):
+            for x, y in ((i, j), (j, i)):
+                ok = all(
+                    p.evaluate(lambda var, attr:
+                               cols[attr][x] if var == TUPLE_I
+                               else cols[attr][y])
+                    for p in dc.predicates)
+                if ok:
+                    count += 1
+                    break
+    return count
+
+
+class TestCountViolations:
+    def test_fd_simple(self):
+        t = make_table([[1, 0, 0], [2, 0, 0], [1, 0, 1]])
+        # rows 0,1 share c=0 but differ in a -> 1 violating pair.
+        assert count_violations(FD, t) == 1
+
+    def test_fd_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        rows = np.column_stack([rng.integers(0, 4, 40),
+                                rng.integers(0, 4, 40),
+                                rng.integers(0, 3, 40)])
+        t = make_table(rows.tolist())
+        assert count_violations(FD, t) == brute_force_pairs(FD, t)
+
+    def test_order_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        rows = np.column_stack([rng.integers(0, 4, 30),
+                                rng.integers(0, 4, 30),
+                                rng.integers(0, 3, 30)])
+        t = make_table(rows.tolist())
+        assert count_violations(ORDER, t) == brute_force_pairs(ORDER, t)
+
+    def test_unary(self):
+        t = make_table([[4, 0, 0], [4, 3, 0], [1, 0, 0]])
+        assert count_violations(UNARY, t) == 1
+
+    def test_no_violations(self):
+        t = make_table([[1, 1, 0], [1, 1, 1], [1, 1, 2]])
+        assert count_violations(FD, t) == 0
+        assert count_violations(ORDER, t) == 0
+
+    def test_percentage(self):
+        t = make_table([[1, 0, 0], [2, 0, 0], [1, 0, 1], [1, 0, 2]])
+        pct = violating_pair_percentage(FD, t)
+        assert pct == pytest.approx(100.0 / 6)
+
+    def test_percentage_unary(self):
+        t = make_table([[4, 0, 0], [1, 0, 0]])
+        assert violating_pair_percentage(UNARY, t) == pytest.approx(50.0)
+
+    def test_percentage_tiny_table(self):
+        t = make_table([[1, 0, 0]])
+        assert violating_pair_percentage(FD, t) == 0.0
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3),
+                              st.integers(0, 2)),
+                    min_size=2, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_brute_force(self, rows):
+        t = make_table([list(r) for r in rows])
+        for dc in (FD, ORDER):
+            assert count_violations(dc, t) == brute_force_pairs(dc, t)
+
+
+class TestIncremental:
+    def test_chain_decomposition_sums_to_total(self):
+        """Eqn. (3): sum_i |V(phi, t_i | D_:i)| == |V(phi, D)|."""
+        rng = np.random.default_rng(2)
+        rows = np.column_stack([rng.integers(0, 4, 25),
+                                rng.integers(0, 4, 25),
+                                rng.integers(0, 3, 25)])
+        t = make_table(rows.tolist())
+        for dc in (FD, ORDER):
+            cols = {a: t.column(a) for a in dc.attributes}
+            total = sum(
+                incremental_violations(
+                    dc, {a: cols[a][i] for a in dc.attributes},
+                    {a: cols[a][:i] for a in dc.attributes})
+                for i in range(t.n))
+            assert total == count_violations(dc, t)
+
+    def test_unary_incremental(self):
+        row = {"a": 5, "b": 0}
+        assert incremental_violations(UNARY, row, {}) == 1
+        assert incremental_violations(UNARY, {"a": 1, "b": 0}, {}) == 0
+
+
+class TestCandidateCounts:
+    def test_fd_candidates(self):
+        t = make_table([[1, 0, 0], [2, 0, 1]])
+        prefix = {a: t.column(a) for a in FD.attributes}
+        counts = candidate_violation_counts(
+            FD, "a", np.array([1, 2, 3]), {"c": 0}, prefix)
+        # Prefix has c=0 -> a=1 and c=1 -> a=2; new tuple has c=0.
+        assert counts.tolist() == [0, 1, 1]
+
+    def test_empty_prefix(self):
+        counts = candidate_violation_counts(
+            FD, "a", np.array([1, 2]), {"c": 0}, {})
+        assert counts.tolist() == [0, 0]
+
+    def test_multi_candidate(self):
+        t = make_table([[1, 1, 0]])
+        prefix = {a: t.column(a) for a in FD.attributes}
+        counts = multi_candidate_violation_counts(
+            FD, {"a": np.array([1, 2]), "c": np.array([0, 0])}, {}, prefix)
+        assert counts.tolist() == [0, 1]
+
+    def test_multi_candidate_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            multi_candidate_violation_counts(
+                FD, {"a": np.array([1, 2]), "c": np.array([0])}, {}, {})
+
+    def test_consistency_with_incremental(self):
+        rng = np.random.default_rng(3)
+        rows = np.column_stack([rng.integers(0, 4, 20),
+                                rng.integers(0, 4, 20),
+                                rng.integers(0, 3, 20)])
+        t = make_table(rows.tolist())
+        cols = {a: t.column(a) for a in ORDER.attributes}
+        i = 15
+        row = {a: cols[a][i] for a in ORDER.attributes}
+        prefix = {a: cols[a][:i] for a in ORDER.attributes}
+        single = incremental_violations(ORDER, row, prefix)
+        vec = candidate_violation_counts(
+            ORDER, "a", np.array([row["a"]]),
+            {k: v for k, v in row.items() if k != "a"}, prefix)
+        assert vec[0] == single
+
+
+class TestViolationMatrix:
+    def test_shape_and_symmetry(self):
+        t = make_table([[1, 0, 0], [2, 0, 0], [3, 3, 1]])
+        m = violation_matrix(t, [FD, ORDER])
+        assert m.shape == (3, 2)
+        # FD: rows 0 and 1 each participate in the single violation.
+        assert m[0, 0] == 1 and m[1, 0] == 1 and m[2, 0] == 0
+
+    def test_row_sums_double_count_pairs(self):
+        rng = np.random.default_rng(4)
+        rows = np.column_stack([rng.integers(0, 3, 30),
+                                rng.integers(0, 3, 30),
+                                rng.integers(0, 2, 30)])
+        t = make_table(rows.tolist())
+        m = violation_matrix(t, [FD])
+        # Every violating pair contributes to exactly two rows.
+        assert m[:, 0].sum() == 2 * count_violations(FD, t)
+
+    def test_unary_column(self):
+        t = make_table([[4, 0, 0], [1, 1, 0]])
+        m = violation_matrix(t, [UNARY])
+        assert m[:, 0].tolist() == [1.0, 0.0]
+
+
+class TestViolatingPairs:
+    def _table(self):
+        rel = Relation([
+            Attribute("g", CategoricalDomain(["a", "b"])),
+            Attribute("v", NumericalDomain(0, 9, integer=True)),
+        ])
+        # Rows 0 and 2 share g with different v; row 3 has v > 8.
+        return Table(rel, {"g": np.array([0, 1, 0, 1]),
+                           "v": np.array([1.0, 2.0, 3.0, 9.0])})
+
+    def test_binary_pairs_sorted_and_complete(self):
+        table = self._table()
+        fd = DenialConstraint.fd("fd", "g", "v")
+        pairs = violating_pairs(fd, table)
+        assert pairs == [(0, 2), (1, 3)]
+        assert len(pairs) == count_violations(fd, table)
+
+    def test_unary_pairs_are_singletons(self):
+        table = self._table()
+        dc = parse_dc("not(ti.v > 8)", name="u", relation=table.relation)
+        assert violating_pairs(dc, table) == [(3,)]
+
+    def test_limit_truncates(self):
+        table = self._table()
+        fd = DenialConstraint.fd("fd", "g", "v")
+        assert violating_pairs(fd, table, limit=1) == [(0, 2)]
+        assert violating_pairs(fd, table, limit=0) == []
+
+    def test_limit_validation(self):
+        table = self._table()
+        fd = DenialConstraint.fd("fd", "g", "v")
+        with pytest.raises(ValueError):
+            violating_pairs(fd, table, limit=-1)
+
+    def test_matches_count_on_dataset(self):
+        dataset = load("br2000", n=80, seed=0)
+        for dc in dataset.dcs:
+            pairs = violating_pairs(dc, dataset.table)
+            assert len(pairs) == count_violations(dc, dataset.table)
+            assert all(a < b for a, b in pairs)
+            assert len(set(pairs)) == len(pairs)

@@ -1,0 +1,171 @@
+"""Tests for the two soft-DC weight estimators and the sigma_w backoff."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.parser import parse_dc
+from repro.core import KaminoParams, learn_dc_weights, search_dp_params
+from repro.core.sequencing import sequence_attributes
+from repro.datasets import load
+from repro.privacy.sensitivity import capped_indicator_sensitivity
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+
+
+def _params(**kwargs):
+    defaults = dict(epsilon=1.0, delta=1e-6, n=200, k=3,
+                    learn_weights=True, L_w=50, sigma_w=0.3,
+                    weight_init=5.0, weight_max=10.0)
+    defaults.update(kwargs)
+    return KaminoParams(**defaults)
+
+
+def _toy():
+    """Two soft DCs over a 200-row table: one never violated, one
+    violated by most tuples."""
+    rng = np.random.default_rng(0)
+    relation = Relation([
+        Attribute("g", CategoricalDomain(["a", "b", "c", "d"])),
+        Attribute("x", NumericalDomain(0, 100, integer=True, bins=16)),
+        Attribute("y", NumericalDomain(0, 100, integer=True, bins=16)),
+    ])
+    g = rng.integers(0, 4, 200)
+    x = rng.integers(0, 101, 200).astype(float)
+    table = Table(relation, {"g": g, "x": x, "y": x.copy()})
+    clean = parse_dc("not(ti.x > tj.x and ti.y < tj.y)", name="clean",
+                     hard=False, relation=relation)  # y == x: no violations
+    dirty = parse_dc("not(ti.g != tj.g and ti.x <= tj.x)", name="dirty",
+                     hard=False, relation=relation)  # rampant
+    return relation, table, [clean, dirty]
+
+
+# ----------------------------------------------------------------------
+# Capped estimator
+# ----------------------------------------------------------------------
+def test_capped_sensitivity_formula():
+    assert capped_indicator_sensitivity(3, 50) == \
+        pytest.approx(math.sqrt(150))
+    with pytest.raises(ValueError):
+        capped_indicator_sensitivity(-1, 50)
+    with pytest.raises(ValueError):
+        capped_indicator_sensitivity(3, 0)
+
+
+def test_capped_nonprivate_separates_clean_from_dirty():
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    weights = learn_dc_weights(table, dcs, seq, _params(),
+                               np.random.default_rng(1), private=False,
+                               estimator="capped")
+    # The clean DC gets the (finite) ceiling log(2 L_w); the dirty DC
+    # drops to the log(2) floor.
+    assert weights["clean"] > weights["dirty"]
+    assert weights["clean"] == pytest.approx(math.log(2 * 50))
+    assert weights["dirty"] == pytest.approx(math.log(2.0))
+
+
+def test_capped_weights_never_zero():
+    """The 0.5 rate cap keeps every soft weight at >= log 2 even under
+    heavy noise — a noise-driven zero would disable the constraint."""
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    for seed in range(5):
+        weights = learn_dc_weights(
+            table, dcs, seq, _params(sigma_w=5.0),
+            np.random.default_rng(seed), private=True,
+            estimator="capped")
+        for dc in dcs:
+            assert weights[dc.name] >= math.log(2.0) - 1e-12
+
+
+def test_capped_respects_weight_max():
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    weights = learn_dc_weights(table, dcs, seq,
+                               _params(weight_max=1.0, L_w=200),
+                               np.random.default_rng(1), private=False,
+                               estimator="capped")
+    assert all(w <= 1.0 for name, w in weights.items())
+
+
+def test_hard_dcs_still_infinite_under_capped():
+    relation, table, dcs = _toy()
+    hard = DenialConstraint.fd("hard_fd", "g", "x", hard=True)
+    seq = sequence_attributes(relation, dcs + [hard])
+    weights = learn_dc_weights(table, dcs + [hard], seq, _params(),
+                               np.random.default_rng(0), private=False,
+                               estimator="capped")
+    assert math.isinf(weights["hard_fd"])
+
+
+def test_unknown_estimator_rejected():
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    with pytest.raises(ValueError, match="unknown estimator"):
+        learn_dc_weights(table, dcs, seq, _params(),
+                         np.random.default_rng(0), estimator="magic")
+
+
+def test_matrix_estimator_defaults_to_prior_under_heavy_noise():
+    """The documented graceful degradation: with sigma_w large, the
+    matrix fit's gradients vanish and weights stay at weight_init."""
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    weights = learn_dc_weights(table, dcs, seq, _params(sigma_w=15.0),
+                               np.random.default_rng(2), private=True,
+                               estimator="matrix")
+    for dc in dcs:
+        assert weights[dc.name] == pytest.approx(5.0)
+
+
+def test_matrix_nonprivate_downweights_mildly_dirty():
+    """The paper's objective only moves weights where exp(-w v) is not
+    underflowed, i.e. for *mildly* violated DCs (v of a few).  A unary
+    DC violated by half the tuples (v = 1 per violating row) sees its
+    weight decay below a clean DC's."""
+    rng = np.random.default_rng(0)
+    relation = Relation([
+        Attribute("x", NumericalDomain(0, 100, integer=True, bins=16)),
+        Attribute("y", NumericalDomain(0, 100, integer=True, bins=16)),
+    ])
+    x = rng.integers(0, 101, 200).astype(float)
+    table = Table(relation, {"x": x, "y": x.copy()})
+    clean = parse_dc("not(ti.x > 200)", name="clean", hard=False,
+                     relation=relation)          # never violated
+    dirty = parse_dc("not(ti.x >= 50)", name="dirty", hard=False,
+                     relation=relation)          # ~half the rows
+    seq = sequence_attributes(relation, [clean, dirty])
+    weights = learn_dc_weights(table, [clean, dirty], seq,
+                               _params(weight_init=2.0),
+                               np.random.default_rng(1), private=False,
+                               estimator="matrix")
+    assert weights["dirty"] < weights["clean"]
+    assert weights["clean"] == pytest.approx(2.0)  # zero gradient
+
+
+# ----------------------------------------------------------------------
+# sigma_w backoff in the parameter search
+# ----------------------------------------------------------------------
+def test_search_backs_off_sigma_w():
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    params = search_dp_params(1.0, 1e-6, relation, seq, n=600,
+                              learn_weights=True)
+    # sigma_w ends well below the sigma_g search ceiling (it used to be
+    # dragged to ~15 by the priority loop).
+    assert params.sigma_w < 5.0
+    achieved, _ = params.accounted_epsilon()
+    assert achieved <= 1.0 + 1e-9
+
+
+def test_search_without_weights_ignores_sigma_w():
+    relation, table, dcs = _toy()
+    seq = sequence_attributes(relation, dcs)
+    params = search_dp_params(1.0, 1e-6, relation, seq, n=600,
+                              learn_weights=False)
+    achieved, _ = params.accounted_epsilon()
+    assert achieved <= 1.0 + 1e-9
