@@ -10,9 +10,24 @@ state-of-the-art cleaning method and shows the repaired data becomes
   target attribute is re-sorted to be concordant with its partner
   (a minimal-change monotone repair);
 * unary DCs — violating cells of the constrained attribute are
-  redrawn from the non-violating empirical distribution;
+  redrawn from the non-violating empirical distribution (or, when
+  *every* tuple violates, from the satisfying part of the attribute's
+  full domain);
 * anything else — a bounded greedy pass that rewrites one cell of each
   violating pair to the attribute's modal value.
+
+Convergence: FD-shaped DCs sharing a dependent attribute are repaired
+*jointly* (union-find over their determinant groups, one majority vote
+per merged component), and units are ordered topologically over the FD
+graph (determinants before dependents) — so a chain ``A -> B, B -> C``
+is fixed left-to-right and a later repair never re-breaks an earlier
+one.  The pass loop then iterates to a fixpoint (violation-free, or no
+further progress) instead of a fixed pass budget.
+
+Violation accounting runs on the incremental indexes of
+:mod:`repro.constraints.index`: each DC's index is built once and
+updated cell-by-cell as repairs land, so a pass costs O(cells changed)
+bookkeeping instead of a fresh O(n^2) ``count_violations`` per DC.
 
 Repair is a pure post-processing step: it costs no additional privacy
 budget but (as Figure 1 shows) damages the learned correlations.
@@ -22,22 +37,63 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.constraints.violations import count_violations
+from repro.constraints.index import build_index
+from repro.constraints.violations import _columns, _unary_mask, group_inverse
 from repro.schema.table import Table
 
+#: Hard stop for the fixpoint loop; reached only by pathological DC
+#: interactions (the loop normally exits on violation-free or stalled).
+_MAX_FIXPOINT_PASSES = 64
 
-def _repair_fd(table: Table, determinant, dependent: str) -> None:
-    """Majority-vote the dependent attribute within determinant groups."""
-    keys = np.stack([table.column(a).astype(np.float64)
-                     for a in determinant], axis=1)
+
+def _union_find_roots(n: int, group_labels) -> np.ndarray:
+    """Root labels after merging rows that share any per-FD group."""
+    parent = np.arange(n)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for inverse in group_labels:
+        order = np.argsort(inverse, kind="stable")
+        labels = inverse[order]
+        for k in range(1, n):
+            if labels[k] == labels[k - 1]:
+                a, b = find(int(order[k])), find(int(order[k - 1]))
+                if a != b:
+                    parent[a] = b
+    return np.fromiter((find(i) for i in range(n)), dtype=np.int64,
+                       count=n)
+
+
+def _repair_fd_set(table: Table, fd_shapes) -> None:
+    """Jointly repair every FD sharing one dependent attribute.
+
+    Rows that share a determinant key under *any* of the FDs must agree
+    on the dependent, so the repair groups are the connected components
+    of the per-FD group overlap (union-find), majority-voted once.
+    Repairing each FD separately can oscillate forever when two FDs
+    determine the same attribute (each vote re-breaking the other).
+    """
+    n = table.n
+    if n == 0:
+        return
+    dependent = fd_shapes[0][1]
+    group_labels = [
+        group_inverse([table.column(a) for a in determinant])[0]
+        for determinant, _ in fd_shapes]
+    roots = _union_find_roots(n, group_labels)
     dep = table.column(dependent)
-    _, inverse = np.unique(keys, axis=0, return_inverse=True)
-    for group in range(inverse.max() + 1):
+    _, inverse, counts = np.unique(roots, return_inverse=True,
+                                   return_counts=True)
+    for group in np.flatnonzero(counts >= 2):
         rows = np.nonzero(inverse == group)[0]
-        if rows.size < 2:
-            continue
-        values, counts = np.unique(dep[rows], return_counts=True)
-        dep[rows] = values[np.argmax(counts)]
+        values, value_counts = np.unique(dep[rows], return_counts=True)
+        dep[rows] = values[np.argmax(value_counts)]
 
 
 def _repair_order(table: Table, eq_attrs, greater_attr: str,
@@ -45,58 +101,196 @@ def _repair_order(table: Table, eq_attrs, greater_attr: str,
     """Within each equality group, sort one order attribute so the pair
     is concordant (a minimal rank repair)."""
     if eq_attrs:
-        keys = np.stack([table.column(a).astype(np.float64)
-                         for a in eq_attrs], axis=1)
-        _, inverse = np.unique(keys, axis=0, return_inverse=True)
+        inverse, counts = group_inverse(
+            [table.column(a) for a in eq_attrs])
     else:
         inverse = np.zeros(table.n, dtype=np.int64)
+        counts = np.array([table.n])
     g_col = table.column(greater_attr)
     l_col = table.column(less_attr)
-    for group in range(inverse.max() + 1):
+    for group in np.flatnonzero(counts >= 2):
         rows = np.nonzero(inverse == group)[0]
-        if rows.size < 2:
-            continue
         order = np.argsort(l_col[rows], kind="stable")
         sorted_g = np.sort(g_col[rows])
         g_col[rows[order]] = sorted_g
 
 
 def _repair_unary(table: Table, dc, rng: np.random.Generator) -> None:
-    """Redraw cells of violating tuples from the clean distribution."""
-    from repro.constraints.violations import _unary_mask, _columns
+    """Redraw cells of violating tuples from the clean distribution.
+
+    When every tuple violates there is no clean empirical pool to draw
+    from; fall back to the attribute's full domain, keeping only values
+    that actually satisfy the DC for the row in question.
+    """
     cols = _columns(table, dc.attributes)
     mask = _unary_mask(dc, cols)
-    if not mask.any() or mask.all():
+    if not mask.any():
         return
     target = sorted(dc.attributes)[0]
-    clean_pool = table.column(target)[~mask]
-    table.column(target)[mask] = rng.choice(clean_pool, size=int(mask.sum()))
+    col = table.column(target)
+    if not mask.all():
+        clean_pool = col[~mask]
+        col[mask] = rng.choice(clean_pool, size=int(mask.sum()))
+        return
+    _redraw_from_domain(table, dc, target, rng)
+
+
+def _domain_candidates(attr, max_grid: int = 257) -> np.ndarray:
+    """A finite candidate set covering an attribute's domain."""
+    domain = attr.domain
+    if attr.is_categorical:
+        return np.arange(domain.size, dtype=np.int64)
+    if domain.integer and domain.width < max_grid:
+        return np.arange(domain.low, domain.high + 1)
+    grid = np.linspace(domain.low, domain.high, max_grid)
+    return np.unique(domain.clip(grid))
+
+
+def _redraw_from_domain(table: Table, dc, target: str,
+                        rng: np.random.Generator) -> None:
+    """Rewrite every row's target cell to a random domain value that
+    satisfies the (unary) DC; rows with no satisfying value are left."""
+    candidates = _domain_candidates(table.relation[target])
+    col = table.column(target)
+    n = table.n
+    feasible = np.zeros((candidates.size, n), dtype=bool)
+    for k, value in enumerate(candidates):
+        sub = {a: (np.full(n, value, dtype=col.dtype) if a == target
+                   else table.column(a))
+               for a in dc.attributes}
+        feasible[k] = ~_unary_mask(dc, sub)
+    scores = rng.random(feasible.shape)
+    scores[~feasible] = -1.0
+    pick = np.argmax(scores, axis=0)
+    fixable = feasible.any(axis=0)
+    col[fixable] = candidates[pick[fixable]]
+
+
+def _repair_target(dc) -> str:
+    """The column a repair pass for ``dc`` rewrites."""
+    fd = dc.as_fd()
+    if fd is not None:
+        return fd[1]
+    order = dc.as_conditional_order()
+    if order is not None:
+        return order[1]
+    return sorted(dc.attributes)[0]
+
+
+def _repair_plan(dcs) -> list[list]:
+    """Group and order DCs into convergent repair units.
+
+    Every FD-shaped DC with the same dependent attribute lands in one
+    unit (they must be majority-voted jointly — see
+    :func:`_repair_fd_set`).  FD units come first, sorted by the
+    topological depth of their dependent in the FD graph (edges
+    determinant -> dependent, longest-path depth; attributes on cycles
+    sort after the acyclic part): repairing ``A -> B`` before
+    ``B -> C`` means the second repair reads already-clean ``B`` groups
+    and cannot re-break the first.  Non-FD DCs follow as singleton
+    units in input order.
+    """
+    fd_units: dict[str, list] = {}
+    for dc in dcs:
+        fd = dc.as_fd()
+        if fd is not None:
+            fd_units.setdefault(fd[1], []).append(dc)
+
+    edges: dict[str, set[str]] = {}
+    indegree: dict[str, int] = {}
+    for dc in dcs:
+        fd = dc.as_fd()
+        if fd is None:
+            continue
+        determinant, dependent = fd
+        for det in determinant:
+            indegree.setdefault(det, 0)
+            if dependent not in edges.setdefault(det, set()):
+                edges[det].add(dependent)
+                indegree[dependent] = indegree.get(dependent, 0) + 1
+    depth = {a: 0 for a in indegree}
+    ready = [a for a, deg in indegree.items() if deg == 0]
+    remaining = dict(indegree)
+    while ready:
+        node = ready.pop()
+        for succ in edges.get(node, ()):
+            depth[succ] = max(depth[succ], depth[node] + 1)
+            remaining[succ] -= 1
+            if remaining[succ] == 0:
+                ready.append(succ)
+    cyclic_depth = 1 + max(depth.values(), default=0)
+
+    def unit_depth(dependent: str) -> int:
+        if remaining.get(dependent, 0) == 0:
+            return depth[dependent]
+        return cyclic_depth
+
+    plan = [unit for _, unit in
+            sorted(fd_units.items(), key=lambda kv: unit_depth(kv[0]))]
+    plan.extend([dc] for dc in dcs if dc.as_fd() is None)
+    return plan
 
 
 def repair_violations(table: Table, dcs, seed: int = 0,
-                      max_passes: int = 3) -> Table:
-    """Return a repaired copy of ``table`` (input is unchanged)."""
+                      max_passes: int | None = None) -> Table:
+    """Return a repaired copy of ``table`` (input is unchanged).
+
+    Iterates repair passes to a fixpoint: the loop exits when every DC
+    is violation-free, when a full pass stops making progress (the
+    residual is unrepairable by these local strategies), or after
+    ``max_passes`` passes if given.
+    """
     rng = np.random.default_rng(seed)
     repaired = table.copy()
-    for _ in range(max_passes):
-        dirty = False
-        for dc in dcs:
-            if count_violations(dc, repaired) == 0:
-                continue
-            dirty = True
-            fd = dc.as_fd()
-            order = dc.as_conditional_order()
-            if fd is not None:
-                _repair_fd(repaired, fd[0], fd[1])
-            elif order is not None:
-                _repair_order(repaired, order[0], order[1], order[2])
-            elif dc.is_unary:
-                _repair_unary(repaired, dc, rng)
-            else:
-                _greedy_repair(repaired, dc, rng)
-        if not dirty:
+    all_dcs = list(dcs)
+    plan = _repair_plan(all_dcs)
+    indexes = {}
+    for dc in all_dcs:
+        index = build_index(dc)
+        index.build(repaired.columns, repaired.n)
+        indexes[dc.name] = index
+
+    cap = _MAX_FIXPOINT_PASSES if max_passes is None else max_passes
+    previous_total = None
+    for _ in range(cap):
+        total = sum(index.total() for index in indexes.values())
+        if total == 0:
             break
+        if previous_total is not None and total >= previous_total:
+            break  # stalled: no strategy is reducing the residual
+        previous_total = total
+        for unit in plan:
+            if all(indexes[dc.name].total() == 0 for dc in unit):
+                continue
+            _repair_unit(repaired, unit, rng, all_dcs, indexes)
     return repaired
+
+
+def _repair_unit(repaired: Table, unit, rng, all_dcs, indexes) -> None:
+    """Run one repair pass for a unit and sync every affected index."""
+    dc = unit[0]
+    target = _repair_target(dc)
+    before = repaired.column(target).copy()
+    fd = dc.as_fd()
+    order = dc.as_conditional_order()
+    if fd is not None:
+        _repair_fd_set(repaired, [d.as_fd() for d in unit])
+    elif order is not None:
+        _repair_order(repaired, order[0], order[1], order[2])
+    elif dc.is_unary:
+        _repair_unary(repaired, dc, rng)
+    else:
+        _greedy_repair(repaired, dc, rng)
+    changed = np.flatnonzero(before != repaired.column(target))
+    if changed.size == 0:
+        return
+    for other in all_dcs:
+        if target not in other.attributes:
+            continue
+        index = indexes[other.name]
+        for i in changed:
+            index.rewrite_cell(repaired.columns, int(i), target,
+                               before[i])
 
 
 def _greedy_repair(table: Table, dc, rng: np.random.Generator,

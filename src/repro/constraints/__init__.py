@@ -15,6 +15,15 @@ Counting conventions (matching the paper):
 * ``V(phi, t_i | D_:i)`` — the incremental count used by the chain
   decomposition Eqn. (3) — is the number of new violations created by
   appending ``t_i`` after the prefix ``D_:i``.
+
+Two counting engines share these conventions: the scan engine of
+:mod:`repro.constraints.violations` (stateless, re-evaluates predicates
+against the instance) and the incremental indexes of
+:mod:`repro.constraints.index` (per-DC state updated as tuples are
+appended/removed/rewritten; O(group) probes, bit-identical counts).
+The hot paths — Algorithm 3's sampler, repair passes, Algorithm 5's
+violation matrix — run on the indexes and fall back to scans for
+shapes without exploitable structure.
 """
 
 from repro.constraints.predicate import Operator, Predicate
@@ -38,10 +47,26 @@ from repro.constraints.algebra import (
 )
 from repro.constraints.discovery import discover_dcs
 from repro.constraints.fd import FDIndex, extract_fds
+from repro.constraints.index import (
+    FDViolationIndex,
+    GenericViolationIndex,
+    OrderViolationIndex,
+    UnaryViolationIndex,
+    ViolationIndex,
+    build_index,
+    per_row_violation_counts,
+)
 
 __all__ = [
     "DenialConstraint",
     "FDIndex",
+    "FDViolationIndex",
+    "GenericViolationIndex",
+    "OrderViolationIndex",
+    "UnaryViolationIndex",
+    "ViolationIndex",
+    "build_index",
+    "per_row_violation_counts",
     "Operator",
     "Predicate",
     "candidate_violation_counts",

@@ -1,0 +1,634 @@
+"""Incremental violation indexes — the sampler/repair hot-path engine.
+
+Counting denial-constraint violations is the single hottest operation in
+the system: Algorithm 3 probes ``|V(phi, t_i + v | D_:i)|`` for every
+candidate value of every cell, Algorithm 5 needs the per-tuple violation
+matrix, and the Figure 1 cleaning baseline re-counts after every repair
+pass.  The scan-based engine in :mod:`repro.constraints.violations`
+re-evaluates the predicate conjunction against the whole prefix each
+time — O(prefix) per probe, O(n^2) per column.
+
+This module maintains *incremental* per-DC state instead, so that
+appending a tuple, removing a tuple, or rewriting a cell updates the
+index in (amortised) group-local time, and a candidate probe costs
+O(group) instead of O(prefix):
+
+* :class:`FDViolationIndex` — hash-bucket group index for FD-shaped DCs
+  (``X -> y``), hard *or* soft.  Per determinant group it tracks the
+  group size and a dependent-value histogram; the number of new
+  violations a candidate ``v`` creates is ``size(X) - count(X, v)``.
+  This generalises the forced-value ``FDIndex`` fast path of
+  Experiment 10 from hard FDs to violation *counts*.
+* :class:`OrderViolationIndex` — sorted-structure index for
+  conditional-order DCs (``not(E= and A> and B<)``).  Per equality
+  group it keeps the (A, B) points; a probe splits the group on the
+  fixed partner value and binary-searches the sorted target values, so
+  ``d`` candidates cost O(g log g + d log g).
+* :class:`UnaryViolationIndex` — violations depend only on the tuple
+  itself; the index just maintains the running total.
+* :class:`GenericViolationIndex` — cached blocked-numpy fallback for
+  arbitrary binary DCs: it references the live column arrays, caches
+  the full blocked O(n^2) count, and invalidates the cache on change.
+
+All indexes produce counts **bit-identical** to the scan-based
+functions (``count_violations``, ``multi_candidate_violation_counts``,
+``violation_matrix``); ``tests/test_violation_index.py`` asserts this on
+randomized tables.  Consumers: :mod:`repro.core.sampling` (Algorithm 3
+and the MCMC refinement), :mod:`repro.baselines.cleaning` (repair
+passes), and :func:`repro.constraints.violations.violation_matrix`
+(Algorithm 5).
+
+Group keys are built from the *original* stored scalars (int codes stay
+ints), never cast through float64 — so int64 keys above 2**53 cannot
+collide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints.dc import DenialConstraint
+
+
+def _item(value):
+    """Convert a numpy scalar to a hashable python scalar."""
+    return value.item() if hasattr(value, "item") else value
+
+
+class ViolationIndex:
+    """Base class: incremental violation state for one DC.
+
+    The indexed instance is a multiset of tuples fed in via
+    :meth:`append_from` / :meth:`remove_from` (rows of a shared column
+    dict) and edited via :meth:`rewrite_cell`.  ``total()`` is the
+    current ``|V(phi, D)|`` under the paper's counting conventions
+    (tuples for unary DCs, unordered pairs for binary DCs).
+    """
+
+    #: Whether :meth:`candidate_counts` can answer probes (otherwise the
+    #: caller falls back to the scan engine).
+    supports_candidates = False
+    #: Whether :meth:`remove_from` is implemented.
+    supports_removal = False
+
+    def __init__(self, dc: DenialConstraint):
+        self.dc = dc
+
+    # -- lifecycle -----------------------------------------------------
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def build(self, cols: dict, n: int) -> None:
+        """Index the first ``n`` rows of ``cols`` from scratch."""
+        self.reset()
+        for i in range(n):
+            self.append_from(cols, i)
+
+    def append_from(self, cols: dict, i: int) -> None:
+        """Add row ``i`` of ``cols`` to the indexed instance."""
+        raise NotImplementedError
+
+    def remove_from(self, cols: dict, i: int) -> None:
+        """Remove row ``i`` (its *current* values) from the instance."""
+        raise NotImplementedError
+
+    def rewrite_cell(self, cols: dict, i: int, attr: str, old_value) -> None:
+        """Row ``i``'s cell ``attr`` changed from ``old_value`` to its
+        current value in ``cols``; update the index."""
+        row_new = {a: cols[a][i] for a in self.dc.attributes}
+        row_old = dict(row_new)
+        row_old[attr] = old_value
+        self._remove_row(row_old)
+        self._add_row(row_new)
+
+    # -- queries -------------------------------------------------------
+    def total(self) -> int:
+        raise NotImplementedError
+
+    def candidate_counts(self, target_values: dict | None,
+                         context: dict) -> np.ndarray | None:
+        """New-violation counts per candidate against the indexed rows.
+
+        Same contract as
+        :func:`~repro.constraints.violations.multi_candidate_violation_counts`
+        (the indexed rows play the role of ``prefix_cols``).  Returns
+        None when this index cannot answer the probe exactly — the
+        caller must then fall back to the scan engine.
+        """
+        return None
+
+    # -- internals -----------------------------------------------------
+    def _add_row(self, row: dict) -> None:
+        raise NotImplementedError
+
+    def _remove_row(self, row: dict) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# FD-shaped DCs
+# ----------------------------------------------------------------------
+class FDViolationIndex(ViolationIndex):
+    """Hash-bucket group index for an FD-shaped DC ``X -> y``.
+
+    State per determinant key: group size and a histogram of dependent
+    values.  Appending a tuple with key ``k`` and dependent ``v``
+    creates ``size(k) - count(k, v)`` new violating pairs, which is an
+    O(1) dict probe — and exactly what the scan engine counts, because a
+    pair violates an FD iff the determinants agree and the dependents
+    differ (both orientations coincide).
+    """
+
+    supports_candidates = True
+    supports_removal = True
+
+    def __init__(self, dc: DenialConstraint):
+        super().__init__(dc)
+        fd = dc.as_fd()
+        if fd is None:
+            raise ValueError(f"DC {dc.name} is not FD-shaped")
+        self.determinant, self.dependent = fd
+        self.reset()
+
+    def reset(self) -> None:
+        #: key -> [group_size, {dep_value: count}]
+        self._groups: dict[tuple, list] = {}
+        self._total = 0
+        self._n = 0
+
+    def _key(self, row: dict) -> tuple:
+        return tuple(_item(row[a]) for a in self.determinant)
+
+    def append_from(self, cols: dict, i: int) -> None:
+        self._add_row({a: cols[a][i] for a in self.dc.attributes})
+
+    def remove_from(self, cols: dict, i: int) -> None:
+        self._remove_row({a: cols[a][i] for a in self.dc.attributes})
+
+    def _add_row(self, row: dict) -> None:
+        key = self._key(row)
+        dep = _item(row[self.dependent])
+        group = self._groups.get(key)
+        if group is None:
+            group = [0, {}]
+            self._groups[key] = group
+        size, counts = group
+        self._total += size - counts.get(dep, 0)
+        group[0] = size + 1
+        counts[dep] = counts.get(dep, 0) + 1
+        self._n += 1
+
+    def _remove_row(self, row: dict) -> None:
+        key = self._key(row)
+        dep = _item(row[self.dependent])
+        group = self._groups[key]
+        size, counts = group
+        self._total -= size - counts.get(dep, 0)
+        group[0] = size - 1
+        if counts[dep] == 1:
+            del counts[dep]
+        else:
+            counts[dep] -= 1
+        if group[0] == 0:
+            del self._groups[key]
+        self._n -= 1
+
+    def total(self) -> int:
+        return self._total
+
+    def __len__(self) -> int:
+        return self._n
+
+    def candidate_counts(self, target_values: dict | None,
+                         context: dict) -> np.ndarray | None:
+        if not target_values:
+            row = {a: context[a] for a in self.dc.attributes}
+            key = self._key(row)
+            group = self._groups.get(key)
+            if group is None:
+                return np.zeros(1, dtype=np.int64)
+            size, counts = group
+            dep = _item(row[self.dependent])
+            return np.array([size - counts.get(dep, 0)], dtype=np.int64)
+
+        d = next(iter(target_values.values())).shape[0]
+        det_in_targets = [a for a in self.determinant if a in target_values]
+        if not det_in_targets and self.dependent in target_values:
+            # Fast path: fixed determinant group, vector of dependents.
+            key = tuple(_item(context[a]) for a in self.determinant)
+            group = self._groups.get(key)
+            if group is None:
+                return np.zeros(d, dtype=np.int64)
+            size, counts = group
+            deps = target_values[self.dependent].tolist()
+            return np.fromiter((size - counts.get(v, 0) for v in deps),
+                               dtype=np.int64, count=d)
+
+        # General path: the determinant key varies per candidate.
+        det_cols = [
+            (target_values[a].tolist() if a in target_values
+             else [_item(context[a])] * d)
+            for a in self.determinant]
+        if self.dependent in target_values:
+            dep_col = target_values[self.dependent].tolist()
+        else:
+            dep_col = [_item(context[self.dependent])] * d
+        out = np.empty(d, dtype=np.int64)
+        for c in range(d):
+            key = tuple(col[c] for col in det_cols)
+            group = self._groups.get(key)
+            if group is None:
+                out[c] = 0
+            else:
+                size, counts = group
+                out[c] = size - counts.get(dep_col[c], 0)
+        return out
+
+    def dependents_of(self, key_row: dict) -> list:
+        """Sorted distinct dependent values already bound to the
+        determinant group of ``key_row`` (empty if the group is new)."""
+        group = self._groups.get(self._key(key_row))
+        if group is None:
+            return []
+        return sorted(group[1])
+
+
+# ----------------------------------------------------------------------
+# Conditional-order DCs
+# ----------------------------------------------------------------------
+class _OrderGroup:
+    """The (A, B) points of one equality group.
+
+    Backed by capacity-doubling numpy buffers so that appends are O(1)
+    amortised and :meth:`arrays` is a zero-copy view — an eq-less order
+    DC has a single group covering the whole prefix, and rebuilding its
+    arrays per probe would be quadratic.
+    """
+
+    __slots__ = ("_a", "_b", "_n")
+
+    def __init__(self):
+        self._a = None
+        self._b = None
+        self._n = 0
+
+    def arrays(self):
+        if self._a is None:
+            empty = np.empty(0, dtype=np.float64)
+            return empty, empty
+        return self._a[:self._n], self._b[:self._n]
+
+    @staticmethod
+    def _grow(buf: np.ndarray) -> np.ndarray:
+        out = np.empty(2 * buf.shape[0], dtype=buf.dtype)
+        out[:buf.shape[0]] = buf
+        return out
+
+    def add(self, a, b) -> None:
+        if self._a is None:
+            dtype_a = np.int64 if isinstance(a, (int, np.integer)) \
+                else np.float64
+            dtype_b = np.int64 if isinstance(b, (int, np.integer)) \
+                else np.float64
+            self._a = np.empty(8, dtype=dtype_a)
+            self._b = np.empty(8, dtype=dtype_b)
+        elif self._n == self._a.shape[0]:
+            self._a = self._grow(self._a)
+            self._b = self._grow(self._b)
+        self._a[self._n] = a
+        self._b[self._n] = b
+        self._n += 1
+
+    def remove(self, a, b) -> None:
+        # Multiset removal: drop one occurrence (swap-with-last + pop).
+        a_arr, b_arr = self.arrays()
+        hits = np.flatnonzero((a_arr == a) & (b_arr == b))
+        if hits.size == 0:
+            raise KeyError((a, b))
+        p = int(hits[-1])
+        last = self._n - 1
+        self._a[p] = self._a[last]
+        self._b[p] = self._b[last]
+        self._n = last
+
+    def __len__(self) -> int:
+        return self._n
+
+
+class OrderViolationIndex(ViolationIndex):
+    """Sorted-structure index for ``not(E= and A> and B<)`` DCs.
+
+    A pair violates iff the equality attributes agree and (A, B) are
+    strictly discordant.  Per equality group the index stores the
+    (A, B) points; a probe for candidates of one order attribute with
+    the partner fixed splits the group into partner-below / partner-
+    above halves, sorts the target values of each half once, and
+    answers every candidate with two binary searches.
+    """
+
+    supports_candidates = True
+    supports_removal = True
+
+    def __init__(self, dc: DenialConstraint):
+        super().__init__(dc)
+        shape = dc.as_conditional_order()
+        if shape is None:
+            raise ValueError(f"DC {dc.name} is not conditional-order-shaped")
+        self.eq_attrs, self.greater_attr, self.less_attr = shape
+        self.reset()
+
+    def reset(self) -> None:
+        self._groups: dict[tuple, _OrderGroup] = {}
+        self._total = 0
+        self._n = 0
+
+    def _key(self, row: dict) -> tuple:
+        return tuple(_item(row[a]) for a in self.eq_attrs)
+
+    def _discordant(self, group: _OrderGroup, a, b) -> int:
+        """Strictly discordant pairs between (a, b) and the group."""
+        a_arr, b_arr = group.arrays()
+        lo = int(np.count_nonzero((a_arr < a) & (b_arr > b)))
+        hi = int(np.count_nonzero((a_arr > a) & (b_arr < b)))
+        return lo + hi
+
+    def append_from(self, cols: dict, i: int) -> None:
+        self._add_row({a: cols[a][i] for a in self.dc.attributes})
+
+    def remove_from(self, cols: dict, i: int) -> None:
+        self._remove_row({a: cols[a][i] for a in self.dc.attributes})
+
+    def _add_row(self, row: dict) -> None:
+        key = self._key(row)
+        group = self._groups.get(key)
+        if group is None:
+            group = _OrderGroup()
+            self._groups[key] = group
+        a = _item(row[self.greater_attr])
+        b = _item(row[self.less_attr])
+        self._total += self._discordant(group, a, b)
+        group.add(a, b)
+        self._n += 1
+
+    def _remove_row(self, row: dict) -> None:
+        key = self._key(row)
+        group = self._groups[key]
+        a = _item(row[self.greater_attr])
+        b = _item(row[self.less_attr])
+        group.remove(a, b)
+        self._total -= self._discordant(group, a, b)
+        if not len(group):
+            del self._groups[key]
+        self._n -= 1
+
+    def total(self) -> int:
+        return self._total
+
+    def __len__(self) -> int:
+        return self._n
+
+    def candidate_counts(self, target_values: dict | None,
+                         context: dict) -> np.ndarray | None:
+        if target_values:
+            if any(a in target_values for a in self.eq_attrs):
+                return None  # group varies per candidate: fall back
+            in_targets = [a for a in (self.greater_attr, self.less_attr)
+                          if a in target_values]
+            if len(in_targets) != 1:
+                return None  # both order attrs vary: fall back
+            target = in_targets[0]
+            cands = target_values[target]
+            d = cands.shape[0]
+        else:
+            target = self.greater_attr
+            cands = np.asarray([context[self.greater_attr]])
+            d = 1
+
+        row = {a: context[a] for a in self.eq_attrs}
+        group = self._groups.get(self._key(row))
+        if group is None:
+            return np.zeros(d, dtype=np.int64)
+        a_arr, b_arr = group.arrays()
+
+        if target == self.greater_attr:
+            partner = context[self.less_attr]
+            # p violates with candidate a_c iff
+            # (a_p < a_c and b_p > partner) or (a_p > a_c and b_p < partner)
+            below_t = np.sort(a_arr[b_arr > partner])
+            above_t = np.sort(a_arr[b_arr < partner])
+        else:
+            partner = context[self.greater_attr]
+            # p violates with candidate b_c iff
+            # (b_p > b_c and a_p < partner) or (b_p < b_c and a_p > partner)
+            below_t = np.sort(b_arr[a_arr > partner])
+            above_t = np.sort(b_arr[a_arr < partner])
+        counts = np.searchsorted(below_t, cands, side="left")
+        counts = counts + (above_t.size
+                           - np.searchsorted(above_t, cands, side="right"))
+        return counts.astype(np.int64)
+
+    def group_points(self, key_row: dict):
+        """The indexed (A, B) point arrays of ``key_row``'s equality
+        group, or None if the group is empty (views — do not mutate)."""
+        group = self._groups.get(self._key(key_row))
+        if group is None:
+            return None
+        return group.arrays()
+
+
+# ----------------------------------------------------------------------
+# Unary DCs
+# ----------------------------------------------------------------------
+class UnaryViolationIndex(ViolationIndex):
+    """Running total for a unary DC (violations are per-tuple)."""
+
+    supports_candidates = True
+    supports_removal = True
+
+    def __init__(self, dc: DenialConstraint):
+        super().__init__(dc)
+        if not dc.is_unary:
+            raise ValueError(f"DC {dc.name} is not unary")
+        self.reset()
+
+    def reset(self) -> None:
+        self._total = 0
+        self._n = 0
+
+    def _violates(self, row: dict) -> bool:
+        for pred in self.dc.predicates:
+            if not bool(pred.evaluate(lambda var, attr: row[attr])):
+                return False
+        return True
+
+    def append_from(self, cols: dict, i: int) -> None:
+        self._add_row({a: cols[a][i] for a in self.dc.attributes})
+
+    def remove_from(self, cols: dict, i: int) -> None:
+        self._remove_row({a: cols[a][i] for a in self.dc.attributes})
+
+    def _add_row(self, row: dict) -> None:
+        self._total += int(self._violates(row))
+        self._n += 1
+
+    def _remove_row(self, row: dict) -> None:
+        self._total -= int(self._violates(row))
+        self._n -= 1
+
+    def total(self) -> int:
+        return self._total
+
+    def __len__(self) -> int:
+        return self._n
+
+    def candidate_counts(self, target_values: dict | None,
+                         context: dict) -> np.ndarray | None:
+        from repro.constraints.violations import (
+            multi_candidate_violation_counts,
+        )
+        # Unary violations ignore the indexed rows entirely; delegate to
+        # the (cheap, O(d)) scan evaluation for exact agreement.
+        return multi_candidate_violation_counts(self.dc, target_values,
+                                                context, {})
+
+
+# ----------------------------------------------------------------------
+# Generic binary DCs
+# ----------------------------------------------------------------------
+class GenericViolationIndex(ViolationIndex):
+    """Cached blocked-numpy fallback for arbitrary binary DCs.
+
+    Holds references to the live column arrays plus a row count; the
+    full blocked O(n^2) total is computed lazily and cached until the
+    instance changes.  Candidate probes delegate to the scan engine over
+    the referenced prefix (there is no exploitable group structure), so
+    results match the scan path exactly.
+    """
+
+    def __init__(self, dc: DenialConstraint):
+        super().__init__(dc)
+        self._cols: dict | None = None
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._cached_total: int | None = None
+
+    def build(self, cols: dict, n: int) -> None:
+        self.reset()
+        self._cols = cols
+        self._n = n
+
+    def append_from(self, cols: dict, i: int) -> None:
+        if self._cols is None:
+            self._cols = cols
+        self._n = max(self._n, i + 1)
+        self._cached_total = None
+
+    def rewrite_cell(self, cols: dict, i: int, attr: str, old_value) -> None:
+        self._cached_total = None
+
+    def total(self) -> int:
+        if self._n == 0 or self._cols is None:
+            return 0
+        if self._cached_total is None:
+            cols = {a: self._cols[a][:self._n] for a in self.dc.attributes}
+            self._cached_total = _blocked_pair_count(self.dc, cols)
+        return self._cached_total
+
+    def __len__(self) -> int:
+        return self._n
+
+
+def _blocked_pair_count(dc: DenialConstraint, cols: dict) -> int:
+    """Blocked O(n^2) unordered-pair count over a column dict.
+
+    The single generic pair-counting kernel: ``count_violations``
+    delegates its non-FD binary branch here, so index totals and scan
+    totals share one implementation by construction.
+    """
+    from repro.constraints.violations import _BLOCK, _pair_mask
+    n = next(iter(cols.values())).shape[0]
+    total = 0
+    for a0 in range(0, n, _BLOCK):
+        a1 = min(a0 + _BLOCK, n)
+        block_a = {k: v[a0:a1] for k, v in cols.items()}
+        for b0 in range(a0, n, _BLOCK):
+            b1 = min(b0 + _BLOCK, n)
+            block_b = {k: v[b0:b1] for k, v in cols.items()}
+            either = (_pair_mask(dc, block_a, block_b)
+                      | _pair_mask(dc, block_b, block_a).T)
+            if a0 == b0:
+                # Same diagonal block: count strictly-upper pairs only.
+                either = np.triu(either, k=1)
+            total += int(either.sum())
+    return total
+
+
+def _blocked_row_counts(dc: DenialConstraint, cols: dict) -> np.ndarray:
+    """Per-row participation counts via blocked pairwise evaluation."""
+    from repro.constraints.violations import _BLOCK, _pair_mask
+    n = next(iter(cols.values())).shape[0]
+    out = np.zeros(n, dtype=np.int64)
+    for a0 in range(0, n, _BLOCK):
+        a1 = min(a0 + _BLOCK, n)
+        block_a = {k: v[a0:a1] for k, v in cols.items()}
+        row_counts = np.zeros(a1 - a0, dtype=np.int64)
+        for b0 in range(0, n, _BLOCK):
+            b1 = min(b0 + _BLOCK, n)
+            block_b = {k: v[b0:b1] for k, v in cols.items()}
+            either = (_pair_mask(dc, block_a, block_b)
+                      | _pair_mask(dc, block_b, block_a).T)
+            if a0 == b0:
+                np.fill_diagonal(either, False)
+            row_counts += either.sum(axis=1)
+        out[a0:a1] = row_counts
+    return out
+
+
+# ----------------------------------------------------------------------
+# Factory + per-row counting (Algorithm 5)
+# ----------------------------------------------------------------------
+def build_index(dc: DenialConstraint) -> ViolationIndex:
+    """The most specific index for a DC's structural shape."""
+    if dc.is_unary:
+        return UnaryViolationIndex(dc)
+    if dc.as_fd() is not None:
+        return FDViolationIndex(dc)
+    if dc.as_conditional_order() is not None:
+        return OrderViolationIndex(dc)
+    return GenericViolationIndex(dc)
+
+
+def per_row_violation_counts(dc: DenialConstraint, table) -> np.ndarray:
+    """``V[i] = |V(phi, t_i | D - {t_i})|`` for every tuple (one column
+    of Algorithm 5's violation matrix), using the shape-specific fast
+    path: group arithmetic for FDs, group-restricted blocked evaluation
+    for conditional-order DCs, full blocked evaluation otherwise.
+    """
+    from repro.constraints.violations import _unary_mask, group_inverse
+    cols = {a: table.column(a) for a in dc.attributes}
+    n = table.n
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if dc.is_unary:
+        return _unary_mask(dc, cols).astype(np.int64)
+    fd = dc.as_fd()
+    if fd is not None:
+        lhs, rhs = fd
+        key_cols = [table.column(a) for a in lhs]
+        lhs_inv, lhs_counts = group_inverse(key_cols)
+        full_inv, full_counts = group_inverse(key_cols + [table.column(rhs)])
+        return (lhs_counts[lhs_inv] - full_counts[full_inv]).astype(np.int64)
+    shape = dc.as_conditional_order()
+    if shape is not None and shape[0]:
+        eq_attrs = shape[0]
+        inverse, _ = group_inverse([table.column(a) for a in eq_attrs])
+        out = np.zeros(n, dtype=np.int64)
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.flatnonzero(np.diff(inverse[order])) + 1
+        for rows in np.split(order, bounds):
+            sub = {a: c[rows] for a, c in cols.items()}
+            out[rows] = _blocked_row_counts(dc, sub)
+        return out
+    return _blocked_row_counts(dc, cols)

@@ -66,8 +66,27 @@ def _columns(table, attrs) -> dict:
     return {a: table.column(a) for a in attrs}
 
 
+def group_inverse(arrays) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``(inverse, counts)`` group labels for aligned key columns.
+
+    Groups on the *original* dtypes via a structured view instead of
+    casting through float64 — so distinct int64 keys above 2**53 (which
+    collide as floats) stay distinct.  ``inverse[i]`` is the group id of
+    row ``i``; ``counts[g]`` is group ``g``'s size.
+    """
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    n = arrays[0].shape[0]
+    rec = np.empty(n, dtype=[(f"f{k}", a.dtype)
+                             for k, a in enumerate(arrays)])
+    for k, a in enumerate(arrays):
+        rec[f"f{k}"] = a
+    _, inverse, counts = np.unique(rec, return_inverse=True,
+                                   return_counts=True)
+    return inverse, counts
+
+
 def _fd_pair_count(table, fd) -> int:
-    """O(n) unordered-pair violation count for an FD-shaped DC.
+    """O(n log n) unordered-pair violation count for an FD-shaped DC.
 
     Within each determinant group of size g, the number of violating
     pairs is C(g,2) minus the concordant pairs sum C(c_v,2) over counts
@@ -75,12 +94,8 @@ def _fd_pair_count(table, fd) -> int:
     """
     lhs, rhs = fd
     key_cols = [table.column(a) for a in lhs]
-    rhs_col = table.column(rhs)
-    lhs_keys = np.stack([c.astype(np.float64) for c in key_cols], axis=1)
-    full_keys = np.concatenate(
-        [lhs_keys, rhs_col.astype(np.float64)[:, None]], axis=1)
-    _, g_counts = np.unique(lhs_keys, axis=0, return_counts=True)
-    _, c_counts = np.unique(full_keys, axis=0, return_counts=True)
+    _, g_counts = group_inverse(key_cols)
+    _, c_counts = group_inverse(key_cols + [table.column(rhs)])
     pairs = (g_counts * (g_counts - 1)) // 2
     concordant = (c_counts * (c_counts - 1)) // 2
     return int(pairs.sum() - concordant.sum())
@@ -94,22 +109,8 @@ def count_violations(dc: DenialConstraint, table) -> int:
     fd = dc.as_fd()
     if fd is not None:
         return _fd_pair_count(table, fd)
-    n = table.n
-    total = 0
-    for a0 in range(0, n, _BLOCK):
-        a1 = min(a0 + _BLOCK, n)
-        block_a = {k: v[a0:a1] for k, v in cols.items()}
-        for b0 in range(a0, n, _BLOCK):
-            b1 = min(b0 + _BLOCK, n)
-            block_b = {k: v[b0:b1] for k, v in cols.items()}
-            fwd = _pair_mask(dc, block_a, block_b)
-            bwd = _pair_mask(dc, block_b, block_a)
-            either = fwd | bwd.T
-            if a0 == b0:
-                # Same diagonal block: count strictly-upper pairs only.
-                either = np.triu(either, k=1)
-            total += int(either.sum())
-    return total
+    from repro.constraints.index import _blocked_pair_count
+    return _blocked_pair_count(dc, cols)
 
 
 def violating_pairs(dc: DenialConstraint, table,
@@ -271,28 +272,16 @@ def violation_matrix(table, dcs) -> np.ndarray:
     ``t_i`` participates in against the rest of the instance (or 0/1 for
     unary DCs).  Shape: ``(n, len(dcs))``, dtype float64 (it will be
     perturbed with Gaussian noise downstream).
+
+    Counting is delegated to the shape-dispatching index engine
+    (:func:`repro.constraints.index.per_row_violation_counts`): group
+    arithmetic for FD-shaped DCs, group-restricted blocked evaluation
+    for conditional-order DCs, full blocked evaluation otherwise.
     """
-    n = table.n
-    out = np.zeros((n, len(dcs)), dtype=np.float64)
+    from repro.constraints.index import per_row_violation_counts
+    out = np.zeros((table.n, len(dcs)), dtype=np.float64)
     for l, dc in enumerate(dcs):
-        cols = _columns(table, dc.attributes)
-        if dc.is_unary:
-            out[:, l] = _unary_mask(dc, cols).astype(np.float64)
-            continue
-        for a0 in range(0, n, _BLOCK):
-            a1 = min(a0 + _BLOCK, n)
-            block_a = {k: v[a0:a1] for k, v in cols.items()}
-            row_counts = np.zeros(a1 - a0, dtype=np.int64)
-            for b0 in range(0, n, _BLOCK):
-                b1 = min(b0 + _BLOCK, n)
-                block_b = {k: v[b0:b1] for k, v in cols.items()}
-                fwd = _pair_mask(dc, block_a, block_b)
-                bwd = _pair_mask(dc, block_b, block_a)
-                either = fwd | bwd.T
-                if a0 == b0:
-                    np.fill_diagonal(either, False)
-                row_counts += either.sum(axis=1)
-            out[a0:a1, l] = row_counts
+        out[:, l] = per_row_violation_counts(dc, table).astype(np.float64)
     return out
 
 

@@ -72,6 +72,11 @@ class Kamino:
         independent histogram (``None`` disables the fallback).
     use_fd_lookup:
         Hard-FD lookup fast path in the sampler (Experiment 10).
+    use_violation_index:
+        Probe sampler violation counts through the incremental
+        violation indexes (:mod:`repro.constraints.index`) instead of
+        rescanning the sampled prefix per cell.  On by default; counts
+        (and hence outputs) are bit-identical either way.
     parallel_training:
         Train sub-models without embedding reuse (Experiment 10).
     params_override:
@@ -95,6 +100,7 @@ class Kamino:
                  seed: int = 0, group_max_domain: int | None = None,
                  large_domain_threshold: int | None = 1000,
                  use_fd_lookup: bool = False,
+                 use_violation_index: bool = True,
                  parallel_training: bool = False,
                  params_override=None,
                  random_sequence: bool = False,
@@ -108,6 +114,7 @@ class Kamino:
         self.group_max_domain = group_max_domain
         self.large_domain_threshold = large_domain_threshold
         self.use_fd_lookup = use_fd_lookup
+        self.use_violation_index = use_violation_index
         self.parallel_training = parallel_training
         self.params_override = params_override
         self.random_sequence = random_sequence
@@ -198,7 +205,8 @@ class Kamino:
         sampled_dcs = self.dcs if self.constraint_aware_sampling else []
         synthetic = synthesize(model, self.relation, sampled_dcs, weights,
                                n_out, params, rng, hyper=hyper,
-                               use_fd_lookup=self.use_fd_lookup)
+                               use_fd_lookup=self.use_fd_lookup,
+                               use_violation_index=self.use_violation_index)
         timings["Sam."] = time.perf_counter() - start
 
         return KaminoResult(table=synthetic, sequence=sequence,
@@ -216,7 +224,8 @@ class Kamino:
         start = time.perf_counter()
         synthetic = ar_sample(result.model, self.relation, self.dcs,
                               result.weights, n_out, result.params, rng,
-                              hyper=result._hyper, max_tries=max_tries)
+                              hyper=result._hyper, max_tries=max_tries,
+                              use_violation_index=self.use_violation_index)
         result.timings["Sam."] = time.perf_counter() - start
         result.table = synthetic
         return result

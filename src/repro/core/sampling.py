@@ -25,6 +25,14 @@ Also implemented here:
   when the target is the dependent of a hard FD whose determinant is
   already sampled, the forced value is read from an incremental index
   instead of scanning the prefix.
+
+The violation counts themselves come from the incremental violation
+indexes of :mod:`repro.constraints.index` (``use_violation_index``,
+default on): as each row is sampled it is folded into a per-DC index,
+and the per-candidate count at line 8 becomes an O(group) probe instead
+of an O(prefix) broadcast rescan.  DC shapes without an indexable
+structure fall back to the scan engine; counts are bit-identical in
+both modes.
 """
 
 from __future__ import annotations
@@ -34,6 +42,9 @@ import math
 import numpy as np
 
 from repro.constraints.fd import FDIndex, extract_fds
+from repro.constraints.index import (
+    FDViolationIndex, OrderViolationIndex, ViolationIndex, build_index,
+)
 from repro.constraints.violations import multi_candidate_violation_counts
 from repro.core.hyper import HyperSpec
 from repro.schema.table import Table
@@ -65,7 +76,8 @@ class _ColumnSampler:
     """Shared machinery between the direct sampler and accept-reject."""
 
     def __init__(self, model, relation, hyper: HyperSpec, dcs, weights,
-                 params, rng, use_fd_lookup: bool = False):
+                 params, rng, use_fd_lookup: bool = False,
+                 use_violation_index: bool = True):
         self.model = model
         self.relation = relation
         self.hyper = hyper
@@ -74,6 +86,7 @@ class _ColumnSampler:
         self.params = params
         self.rng = rng
         self.use_fd_lookup = use_fd_lookup
+        self.use_violation_index = use_violation_index
 
         self.wseq = hyper.working_sequence
         self.wrel = hyper.working_relation
@@ -157,7 +170,8 @@ class _ColumnSampler:
         return ("num", mu, np.maximum(sigma, 1e-9))
 
     def candidates_for_row(self, j: int, base, i: int,
-                           cols: dict | None = None):
+                           cols: dict | None = None,
+                           indexes: dict[str, ViolationIndex] | None = None):
         """(working_values, original_decodes, base_logp) for row ``i``.
 
         ``working_values`` is the length-d candidate vector in working
@@ -183,7 +197,8 @@ class _ColumnSampler:
             cand = self.rng.normal(mu[i], sigma[i], size=d)
             cand = self.snap(w, wattr.domain.clip(cand))
             if cols is not None:
-                extra = self._consistent_values(j, w, cols, i)
+                extra = self._consistent_values(j, w, cols, i,
+                                                indexes=indexes)
                 fresh = self._fresh_values(j, w, cols, i)
                 if extra.size or fresh.size:
                     cand = np.concatenate([cand, extra, fresh])
@@ -194,7 +209,8 @@ class _ColumnSampler:
             cand = self.snap(w, hist.quantizer.decode(bins, self.rng))
             logp = hist.log_prob_codes()
             if cols is not None:
-                extra = self._consistent_values(j, w, cols, i)
+                extra = self._consistent_values(j, w, cols, i,
+                                                indexes=indexes)
                 fresh = self._fresh_values(j, w, cols, i)
                 if extra.size or fresh.size:
                     added = np.concatenate([extra, fresh])
@@ -209,10 +225,17 @@ class _ColumnSampler:
         return cand, decode, logp
 
     def _consistent_values(self, j: int, target: str, cols: dict,
-                           i: int, limit: int = 4) -> np.ndarray:
+                           i: int, limit: int = 4,
+                           indexes: dict[str, ViolationIndex] | None = None,
+                           ) -> np.ndarray:
         """Target values of prefix rows matching row ``i`` on the other
         attributes of each active hard DC (always violation-free for
-        two-tuple DCs against those rows)."""
+        two-tuple DCs against those rows).
+
+        When an FD violation index covering the prefix is available its
+        determinant group gives the matched values in O(group) — the
+        sorted-distinct set is identical to the ``np.unique`` scan.
+        """
         values: list[float] = []
         for dc in self.active_at[j]:
             if not dc.hard or dc.is_unary or target not in dc.attributes:
@@ -220,12 +243,19 @@ class _ColumnSampler:
             others = [a for a in dc.attributes if a != target]
             if not others or i == 0:
                 continue
-            mask = np.ones(i, dtype=bool)
-            for a in others:
-                mask &= cols[a][:i] == cols[a][i]
-            matched = np.unique(cols[target][:i][mask])
-            values.extend(matched[:limit].tolist())
-            values.extend(self._order_interval(dc, target, cols, i))
+            index = indexes.get(dc.name) if indexes else None
+            if (isinstance(index, FDViolationIndex)
+                    and index.dependent == target):
+                key_row = {a: cols[a][i] for a in index.determinant}
+                values.extend(index.dependents_of(key_row)[:limit])
+            else:
+                mask = np.ones(i, dtype=bool)
+                for a in others:
+                    mask &= cols[a][:i] == cols[a][i]
+                matched = np.unique(cols[target][:i][mask])
+                values.extend(matched[:limit].tolist())
+            values.extend(self._order_interval(dc, target, cols, i,
+                                               index=index))
         return np.unique(np.array(values, dtype=np.float64))
 
     def _fresh_values(self, j: int, target: str, cols: dict, i: int,
@@ -265,8 +295,8 @@ class _ColumnSampler:
                 used.add(v)
         return np.asarray(out, dtype=np.float64)
 
-    def _order_interval(self, dc, target: str, cols: dict,
-                        i: int) -> list[float]:
+    def _order_interval(self, dc, target: str, cols: dict, i: int,
+                        index: ViolationIndex | None = None) -> list[float]:
         """Feasible-interval endpoints for conditional-order hard DCs.
 
         For ``not(E= and A> and B<)`` with the prefix consistent, the
@@ -274,6 +304,9 @@ class _ColumnSampler:
         partner attribute form the closed interval
         ``[max{t_p : partner_p "below"}, min{t_p : partner_p "above"}]``
         within the equality group, and both endpoints are feasible.
+
+        With an order violation index covering the prefix the group's
+        point arrays replace the O(prefix) equality scan.
         """
         shape = dc.as_conditional_order()
         if shape is None:
@@ -285,14 +318,23 @@ class _ColumnSampler:
             partner = greater_attr
         else:
             return []
-        mask = np.ones(i, dtype=bool)
-        for a in eq_attrs:
-            mask &= cols[a][:i] == cols[a][i]
-        if not mask.any():
-            return []
-        t_vals = cols[target][:i][mask]
-        p_vals = cols[partner][:i][mask]
         p_now = cols[partner][i]
+        if isinstance(index, OrderViolationIndex):
+            points = index.group_points(
+                {a: cols[a][i] for a in eq_attrs})
+            if points is None:
+                return []
+            a_vals, b_vals = points
+            t_vals = a_vals if target == greater_attr else b_vals
+            p_vals = b_vals if target == greater_attr else a_vals
+        else:
+            mask = np.ones(i, dtype=bool)
+            for a in eq_attrs:
+                mask &= cols[a][:i] == cols[a][i]
+            if not mask.any():
+                return []
+            t_vals = cols[target][:i][mask]
+            p_vals = cols[partner][:i][mask]
         # For target = greater_attr (A), partner below means B_p < b_i
         # under orientation "new as i"; for target = less_attr the
         # inequalities mirror, and the same below/above split applies.
@@ -309,11 +351,17 @@ class _ColumnSampler:
         return out
 
     def violation_penalty(self, j: int, decode: dict, cols: dict,
-                          i: int, exclude_self: bool = False) -> np.ndarray:
+                          i: int, exclude_self: bool = False,
+                          indexes: dict[str, ViolationIndex] | None = None,
+                          ) -> np.ndarray:
         """Weighted violation counts per candidate (Algorithm 3 line 8).
 
         ``exclude_self`` switches from prefix counting (rows < i) to
         all-other-rows counting (the MCMC re-sampling conditional).
+        ``indexes`` maps DC names to incremental violation indexes whose
+        state covers exactly the rows the probe should count against;
+        DCs without an index (or probes an index cannot answer) fall
+        back to the O(prefix) scan engine.
         """
         d = next(iter(decode.values())).shape[0]
         penalty = np.zeros(d)
@@ -322,15 +370,47 @@ class _ColumnSampler:
                              if a in decode}
             context = {a: cols[a][i] for a in dc.attributes
                        if a not in target_values}
-            if exclude_self:
-                prefix = {a: np.concatenate([cols[a][:i], cols[a][i + 1:]])
-                          for a in dc.attributes}
-            else:
-                prefix = {a: cols[a][:i] for a in dc.attributes}
-            counts = multi_candidate_violation_counts(
-                dc, target_values, context, prefix)
+            counts = None
+            if indexes is not None:
+                index = indexes.get(dc.name)
+                if index is not None:
+                    counts = index.candidate_counts(target_values, context)
+            if counts is None:
+                if exclude_self:
+                    prefix = {a: np.concatenate([cols[a][:i],
+                                                 cols[a][i + 1:]])
+                              for a in dc.attributes}
+                else:
+                    prefix = {a: cols[a][:i] for a in dc.attributes}
+                counts = multi_candidate_violation_counts(
+                    dc, target_values, context, prefix)
             penalty = penalty + self.weight_of(dc) * counts
         return penalty
+
+    def violation_indexes_for(self, j: int,
+                              removable: bool = False,
+                              ) -> dict[str, ViolationIndex]:
+        """Fresh (empty) incremental indexes for the DCs active at ``j``.
+
+        Only shapes with a group-structured probe are indexed (FD and
+        conditional-order DCs): unary probes are already O(d) without a
+        prefix, and generic binary probes have no exploitable structure.
+        ``removable`` additionally requires remove support (the MCMC
+        all-but-one conditional).
+        """
+        if not self.use_violation_index:
+            return {}
+        out: dict[str, ViolationIndex] = {}
+        for dc in self.active_at[j]:
+            if dc.is_unary:
+                continue
+            index = build_index(dc)
+            if not index.supports_candidates:
+                continue
+            if removable and not index.supports_removal:
+                continue
+            out[dc.name] = index
+        return out
 
     def fd_indexes_for(self, j: int) -> list[FDIndex]:
         """Hard-FD indexes usable at position ``j`` (fast path).
@@ -353,7 +433,8 @@ class _ColumnSampler:
 
 def synthesize(model, relation, dcs, weights, n: int, params,
                rng: np.random.Generator, hyper: HyperSpec | None = None,
-               use_fd_lookup: bool = False) -> Table:
+               use_fd_lookup: bool = False,
+               use_violation_index: bool = True) -> Table:
     """Algorithm 3: sample a synthetic instance of ``n`` rows.
 
     Parameters
@@ -374,11 +455,17 @@ def synthesize(model, relation, dcs, weights, n: int, params,
         Grouping spec; defaults to the trivial one.
     use_fd_lookup:
         Enable the hard-FD lookup fast path (Experiment 10).
+    use_violation_index:
+        Probe per-cell violation counts through the incremental
+        violation indexes (O(group) per probe) instead of re-scanning
+        the sampled prefix.  Counts are bit-identical either way; this
+        switch exists for benchmarking and as a fallback.
     """
     if hyper is None:
         hyper = HyperSpec.trivial(relation, model.sequence)
     sampler = _ColumnSampler(model, relation, hyper, dcs, weights, params,
-                             rng, use_fd_lookup)
+                             rng, use_fd_lookup,
+                             use_violation_index=use_violation_index)
     cols = _allocate_columns(relation, n)
     wcols = _allocate_working(sampler, cols, n)
 
@@ -431,19 +518,24 @@ def _fill_column(sampler: _ColumnSampler, j: int, cols: dict, wcols: dict,
         _fill_column_vectorized(sampler, j, base, cols, wcols, n)
         return
 
+    vio_indexes = sampler.violation_indexes_for(j)
     for i in range(n):
         if fd_indexes:
             forced = _forced_value(fd_indexes, cols, i)
             if forced is not None:
                 wcols[sampler.wseq[j]][i] = forced
+                _append_row(vio_indexes, cols, i)
                 continue
-        cand, decode, logp = sampler.candidates_for_row(j, base, i, cols)
-        penalty = sampler.violation_penalty(j, decode, cols, i)
+        cand, decode, logp = sampler.candidates_for_row(
+            j, base, i, cols, indexes=vio_indexes)
+        penalty = sampler.violation_penalty(j, decode, cols, i,
+                                            indexes=vio_indexes)
         choice = _log_normalise_sample(logp - penalty, rng)
         _write_cell(sampler, j, i, choice, cand, decode, cols, wcols)
         for index in fd_indexes:
             row = {a: cols[a][i] for a in index.determinant}
             index.record(row, cols[index.dependent][i])
+        _append_row(vio_indexes, cols, i)
 
 
 def _forced_value(fd_indexes, cols: dict, i: int):
@@ -453,6 +545,12 @@ def _forced_value(fd_indexes, cols: dict, i: int):
         if value is not None:
             return value
     return None
+
+
+def _append_row(vio_indexes: dict, cols: dict, i: int) -> None:
+    """Fold the freshly written row ``i`` into the violation indexes."""
+    for index in vio_indexes.values():
+        index.append_from(cols, i)
 
 
 def _fill_column_vectorized(sampler: _ColumnSampler, j: int, base,
@@ -487,18 +585,28 @@ def _mcmc_resample(sampler: _ColumnSampler, j: int, cols: dict, wcols: dict,
     cells of column ``j`` conditioned on every other cell."""
     rng = sampler.rng
     base = sampler.base_distribution(j, wcols, n)
+    vio_indexes = sampler.violation_indexes_for(j, removable=True)
+    for index in vio_indexes.values():
+        index.build(cols, n)
     for _ in range(m):
         i = int(rng.integers(0, n))
+        # The conditional counts against all *other* rows: lift row i
+        # out of the indexes, probe, then fold the re-sampled row back.
+        for index in vio_indexes.values():
+            index.remove_from(cols, i)
         cand, decode, logp = sampler.candidates_for_row(j, base, i, cols)
         penalty = sampler.violation_penalty(j, decode, cols, i,
-                                            exclude_self=True)
+                                            exclude_self=True,
+                                            indexes=vio_indexes)
         choice = _log_normalise_sample(logp - penalty, rng)
         _write_cell(sampler, j, i, choice, cand, decode, cols, wcols)
+        _append_row(vio_indexes, cols, i)
 
 
 def ar_sample(model, relation, dcs, weights, n: int, params,
               rng: np.random.Generator, hyper: HyperSpec | None = None,
-              max_tries: int = 300) -> Table:
+              max_tries: int = 300,
+              use_violation_index: bool = True) -> Table:
     """Experiment 6's accept-reject sampler.
 
     Each cell repeatedly draws a value from the base conditional and
@@ -509,7 +617,7 @@ def ar_sample(model, relation, dcs, weights, n: int, params,
     if hyper is None:
         hyper = HyperSpec.trivial(relation, model.sequence)
     sampler = _ColumnSampler(model, relation, hyper, dcs, weights, params,
-                             rng)
+                             rng, use_violation_index=use_violation_index)
     cols = _allocate_columns(relation, n)
     wcols = _allocate_working(sampler, cols, n)
 
@@ -519,18 +627,22 @@ def ar_sample(model, relation, dcs, weights, n: int, params,
         if not active:
             _fill_column_vectorized(sampler, j, base, cols, wcols, n)
             continue
+        vio_indexes = sampler.violation_indexes_for(j)
         for i in range(n):
-            cand, decode, logp = sampler.candidates_for_row(j, base, i, cols)
+            cand, decode, logp = sampler.candidates_for_row(
+                j, base, i, cols, indexes=vio_indexes)
             shifted = np.exp(logp - logp.max())
             probs = shifted / shifted.sum()
             choice = None
             for _ in range(max_tries):
                 draw = int(rng.choice(probs.shape[0], p=probs))
                 one = {a: v[draw:draw + 1] for a, v in decode.items()}
-                penalty = sampler.violation_penalty(j, one, cols, i)[0]
+                penalty = sampler.violation_penalty(j, one, cols, i,
+                                                    indexes=vio_indexes)[0]
                 if penalty <= 0 or rng.random() < math.exp(-min(penalty, 700)):
                     choice = draw
                     break
                 choice = draw  # keep the last draw if all rejected
             _write_cell(sampler, j, i, choice, cand, decode, cols, wcols)
+            _append_row(vio_indexes, cols, i)
     return Table(relation, cols, validate=False)

@@ -1,0 +1,414 @@
+"""The incremental violation-index engine vs the scan-based engine.
+
+The contract of :mod:`repro.constraints.index` is *bit-identical*
+counting: every index answers ``total()`` / ``candidate_counts()`` /
+``per_row_violation_counts()`` exactly like ``count_violations`` /
+``multi_candidate_violation_counts`` / the blocked ``violation_matrix``
+evaluation, only faster.  These tests pin that equivalence on
+randomized tables (Hypothesis) and cover the repair-convergence
+regressions the engine unlocked (FD chains, shared-dependent FDs,
+all-violating unary DCs, exact-dtype group keys).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import repair_violations
+from repro.constraints import (
+    FDViolationIndex,
+    GenericViolationIndex,
+    OrderViolationIndex,
+    UnaryViolationIndex,
+    build_index,
+    count_violations,
+    multi_candidate_violation_counts,
+    parse_dc,
+    violation_matrix,
+)
+from repro.constraints.dc import DenialConstraint
+from repro.constraints.predicate import TUPLE_I
+from repro.constraints.violations import group_inverse
+from repro.core.params import KaminoParams
+from repro.core.sampling import synthesize
+from repro.core.training import train_model
+from repro.schema.domain import CategoricalDomain, NumericalDomain
+from repro.schema.relation import Attribute, Relation
+from repro.schema.table import Table
+
+
+def _relation():
+    return Relation([
+        Attribute("a", CategoricalDomain([f"v{i}" for i in range(5)])),
+        Attribute("b", CategoricalDomain([f"w{i}" for i in range(4)])),
+        Attribute("u", NumericalDomain(0, 12, integer=True, bins=13)),
+        Attribute("v", NumericalDomain(0, 12, integer=True, bins=13)),
+    ])
+
+
+def _dcs():
+    rel = _relation()
+    return rel, {
+        "fd": DenialConstraint.fd("fd", "a", "b"),
+        "fd2": DenialConstraint.fd("fd2", ("a", "b"), "u"),
+        "ord": parse_dc(
+            "not(ti.a == tj.a and ti.u > tj.u and ti.v < tj.v)", "ord"),
+        "ord0": parse_dc("not(ti.u > tj.u and ti.v < tj.v)", "ord0"),
+        "un": parse_dc("not(ti.u > 9)", "un", relation=rel),
+        "gen": parse_dc("not(ti.a == tj.a and ti.u > tj.u)", "gen"),
+    }
+
+
+def _tables(draw, max_rows: int = 24) -> Table:
+    rel = _relation()
+    n = draw(st.integers(0, max_rows))
+    cols = {
+        "a": np.asarray(draw(st.lists(st.integers(0, 4), min_size=n,
+                                      max_size=n)), dtype=np.int64),
+        "b": np.asarray(draw(st.lists(st.integers(0, 3), min_size=n,
+                                      max_size=n)), dtype=np.int64),
+        "u": np.asarray(draw(st.lists(st.integers(0, 12), min_size=n,
+                                      max_size=n)), dtype=np.float64),
+        "v": np.asarray(draw(st.lists(st.integers(0, 12), min_size=n,
+                                      max_size=n)), dtype=np.float64),
+    }
+    return Table(rel, cols)
+
+
+def test_factory_dispatches_on_shape():
+    _, dcs = _dcs()
+    assert isinstance(build_index(dcs["fd"]), FDViolationIndex)
+    assert isinstance(build_index(dcs["fd2"]), FDViolationIndex)
+    assert isinstance(build_index(dcs["ord"]), OrderViolationIndex)
+    assert isinstance(build_index(dcs["ord0"]), OrderViolationIndex)
+    assert isinstance(build_index(dcs["un"]), UnaryViolationIndex)
+    assert isinstance(build_index(dcs["gen"]), GenericViolationIndex)
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the scan engine
+# ----------------------------------------------------------------------
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_incremental_total_matches_count_violations(data):
+    _, dcs = _dcs()
+    table = _tables(data.draw)
+    cols = {a: table.column(a) for a in table.relation.names}
+    for dc in dcs.values():
+        index = build_index(dc)
+        index.build(cols, 0)
+        for i in range(table.n):
+            index.append_from(cols, i)
+            assert index.total() == count_violations(
+                dc, table.head(i + 1)), (dc.name, i)
+
+
+@given(st.data())
+@settings(max_examples=30, deadline=None)
+def test_candidate_counts_match_scan_engine(data):
+    """Prefix-probe agreement: the probe of Algorithm 3 line 8."""
+    _, dcs = _dcs()
+    table = _tables(data.draw)
+    cols = {a: table.column(a) for a in table.relation.names}
+    for dc in dcs.values():
+        index = build_index(dc)
+        index.build(cols, 0)
+        for i in range(table.n):
+            for target in sorted(dc.attributes):
+                if target in ("a", "b"):
+                    cands = np.arange(
+                        table.relation[target].domain.size, dtype=np.int64)
+                else:
+                    cands = np.arange(0, 13, dtype=np.float64)
+                target_values = {target: cands}
+                context = {a: cols[a][i] for a in dc.attributes
+                           if a != target}
+                got = index.candidate_counts(target_values, context)
+                if got is None:
+                    continue  # the scan fallback path; nothing to pin
+                prefix = {a: cols[a][:i] for a in dc.attributes}
+                ref = multi_candidate_violation_counts(
+                    dc, target_values, context, prefix)
+                np.testing.assert_array_equal(got, ref,
+                                              err_msg=f"{dc.name}@{i}")
+            index.append_from(cols, i)
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_removal_and_rewrite_keep_totals_exact(data):
+    _, dcs = _dcs()
+    table = _tables(data.draw)
+    if table.n < 2:
+        return
+    cols = {a: table.column(a) for a in table.relation.names}
+    i = data.draw(st.integers(0, table.n - 1))
+    for dc in dcs.values():
+        index = build_index(dc)
+        if not index.supports_removal:
+            continue
+        index.build(cols, table.n)
+        index.remove_from(cols, i)
+        rest = table.take([j for j in range(table.n) if j != i])
+        assert index.total() == count_violations(dc, rest), dc.name
+        index.append_from(cols, i)
+        assert index.total() == count_violations(dc, table), dc.name
+    # Cell rewrite: flip one cell and compare against a fresh count.
+    new_b = data.draw(st.integers(0, 3))
+    for name in ("fd", "gen"):
+        dc = dcs[name]
+        index = build_index(dc)
+        index.build(cols, table.n)
+        attr = "b" if name == "fd" else "u"
+        old = cols[attr][i]
+        cols[attr][i] = new_b
+        index.rewrite_cell(cols, i, attr, old)
+        assert index.total() == count_violations(dc, table), name
+        cols[attr][i] = old
+        index.rewrite_cell(cols, i, attr, new_b)
+        assert index.total() == count_violations(dc, table), name
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_violation_matrix_matches_brute_force(data):
+    _, dcs = _dcs()
+    table = _tables(data.draw, max_rows=14)
+    dc_list = list(dcs.values())
+    got = violation_matrix(table, dc_list)
+    assert got.shape == (table.n, len(dc_list))
+
+    def pair_violates(dc, i, j):
+        for first, second in ((i, j), (j, i)):
+            def value(var, attr):
+                row = first if var == TUPLE_I else second
+                return table.column(attr)[row]
+            if all(bool(p.evaluate(value)) for p in dc.predicates):
+                return True
+        return False
+
+    for l, dc in enumerate(dc_list):
+        for i in range(table.n):
+            if dc.is_unary:
+                def value(var, attr):
+                    return table.column(attr)[i]
+                ref = float(all(bool(p.evaluate(value))
+                                for p in dc.predicates))
+            else:
+                ref = float(sum(pair_violates(dc, i, j)
+                                for j in range(table.n) if j != i))
+            assert got[i, l] == ref, (dc.name, i)
+
+
+# ----------------------------------------------------------------------
+# The sampler produces identical output with the index on or off
+# ----------------------------------------------------------------------
+def test_sampler_bit_identical_with_and_without_index():
+    relation = Relation([
+        Attribute("g", CategoricalDomain(["x", "y", "z"])),
+        Attribute("h", CategoricalDomain(["p", "q", "r", "s"])),
+        Attribute("gain", NumericalDomain(0, 30, integer=True, bins=8)),
+        Attribute("loss", NumericalDomain(0, 30, integer=True, bins=8)),
+    ])
+    rng = np.random.default_rng(0)
+    g = rng.integers(0, 3, 120)
+    gain = rng.integers(0, 31, 120).astype(float)
+    table = Table(relation, {"g": g, "h": (g + 1) % 3, "gain": gain,
+                             "loss": np.clip(gain // 2, 0, 30)})
+    dcs = [
+        DenialConstraint.fd("g_h", "g", "h", hard=True),
+        parse_dc("not(ti.g == tj.g and ti.gain > tj.gain "
+                 "and ti.loss < tj.loss)", "cord", hard=False),
+    ]
+    params = KaminoParams(epsilon=math.inf, delta=1e-6, iterations=15,
+                          embed_dim=6, lr=0.1, n=table.n, k=4)
+    params.mcmc_m = 5  # exercise the remove/probe/re-append MCMC path
+    sequence = ["g", "h", "gain", "loss"]
+    model = train_model(table, relation, sequence, params,
+                        np.random.default_rng(1), private=False)
+    weights = {"g_h": math.inf, "cord": 1.5}
+    outs = {}
+    for flag in (True, False):
+        outs[flag] = synthesize(model, relation, dcs, weights, table.n,
+                                params, np.random.default_rng(7),
+                                use_violation_index=flag)
+    for name in relation.names:
+        np.testing.assert_array_equal(outs[True].column(name),
+                                      outs[False].column(name),
+                                      err_msg=name)
+
+
+# ----------------------------------------------------------------------
+# Repair convergence regressions
+# ----------------------------------------------------------------------
+def _chain_relation():
+    return Relation([
+        Attribute("a", CategoricalDomain(["a0", "a1", "a2"])),
+        Attribute("b", CategoricalDomain(["b0", "b1", "b2"])),
+        Attribute("c", CategoricalDomain(["c0", "c1", "c2"])),
+    ])
+
+
+def test_repair_converges_on_fd_chain():
+    """A -> B, B -> C: repairing B re-groups C, so the old bounded
+    3-pass loop (in reverse order) left chained violations behind."""
+    rel = _chain_relation()
+    rng = np.random.default_rng(0)
+    n = 40
+    table = Table(rel, {
+        "a": rng.integers(0, 3, n),
+        "b": rng.integers(0, 3, n),
+        "c": rng.integers(0, 3, n),
+    })
+    fds = [DenialConstraint.fd("bc", "b", "c"),
+           DenialConstraint.fd("ab", "a", "b")]  # reverse chain order
+    fixed = repair_violations(table, fds, seed=0)
+    for dc in fds:
+        assert count_violations(dc, fixed) == 0
+    assert fixed.n == n
+
+
+def test_repair_converges_on_shared_dependent_fds():
+    """a0 -> a2 and a1 -> a2: separate majority votes oscillate; the
+    joint union-find repair fixes both at once (the seed-failing
+    Hypothesis counterexample, pinned)."""
+    rel = _chain_relation()
+    table = Table(rel, {
+        "a": np.array([0, 0, 0, 0, 1]),
+        "b": np.array([0, 0, 0, 1, 1]),
+        "c": np.array([0, 1, 1, 0, 0]),
+    })
+    fds = [DenialConstraint.fd("bc", "b", "c"),
+           DenialConstraint.fd("ac", "a", "c")]
+    fixed = repair_violations(table, fds, seed=0)
+    for dc in fds:
+        assert count_violations(dc, fixed) == 0
+
+
+@given(st.data())
+@settings(max_examples=25, deadline=None)
+def test_repair_eliminates_arbitrary_fd_sets(data):
+    """Random FDs with arbitrary determinant/dependent directions (the
+    property the seed test checks, but without the acyclicity bound on
+    shared dependents)."""
+    rel = _chain_relation()
+    n = data.draw(st.integers(0, 12))
+    table = Table(rel, {
+        a: np.asarray(data.draw(st.lists(st.integers(0, 2), min_size=n,
+                                         max_size=n)), dtype=np.int64)
+        for a in ("a", "b", "c")})
+    names = ["a", "b", "c"]
+    n_fds = data.draw(st.integers(0, 4))
+    fds = []
+    for f in range(n_fds):
+        det = data.draw(st.integers(0, 2))
+        dep = data.draw(st.integers(0, 2).filter(lambda x: x != det))
+        fds.append(DenialConstraint.fd(f"fd{f}", names[det], names[dep]))
+    fixed = repair_violations(table, fds, seed=0)
+    assert fixed.n == n
+    # Acyclic FD graphs must repair completely; cyclic ones must at
+    # least never crash or grow the violation count.
+    edges = {}
+    for dc in fds:
+        det, dep = dc.as_fd()
+        edges.setdefault(det[0], set()).add(dep)
+
+    def reaches(start, goal, seen):
+        for nxt in edges.get(start, ()):
+            if nxt == goal or (nxt not in seen
+                               and reaches(nxt, goal, seen | {nxt})):
+                return True
+        return False
+
+    cyclic = any(reaches(node, node, {node}) for node in edges)
+    if not cyclic:
+        for dc in fds:
+            assert count_violations(dc, fixed) == 0
+    else:
+        total_after = sum(count_violations(dc, fixed) for dc in fds)
+        total_before = sum(count_violations(dc, table) for dc in fds)
+        assert total_after <= total_before
+
+
+def test_repair_all_violating_unary_redraws_from_domain():
+    """Every tuple violating used to silently skip the repair (no clean
+    pool); now the cells redraw from the satisfying domain values."""
+    rel = _relation()
+    n = 30
+    table = Table(rel, {
+        "a": np.zeros(n, dtype=np.int64),
+        "b": np.zeros(n, dtype=np.int64),
+        "u": np.full(n, 3.0),   # all violate not(u < 9)
+        "v": np.zeros(n),
+    })
+    unary = parse_dc("not(ti.u < 9)", "un", relation=rel)
+    assert count_violations(unary, table) == n
+    fixed = repair_violations(table, [unary], seed=0)
+    assert count_violations(unary, fixed) == 0
+    assert np.all(fixed.column("u") >= 9)
+
+
+def test_repair_unary_without_feasible_values_leaves_table():
+    """A unary DC no domain value satisfies cannot loop forever."""
+    rel = _relation()
+    table = Table(rel, {
+        "a": np.zeros(4, dtype=np.int64), "b": np.zeros(4, dtype=np.int64),
+        "u": np.full(4, 5.0), "v": np.zeros(4),
+    })
+    unary = parse_dc("not(ti.u >= 0)", "un", relation=rel)  # always true
+    fixed = repair_violations(table, [unary], seed=0)
+    assert count_violations(unary, fixed) == 4  # unrepairable, no hang
+
+
+# ----------------------------------------------------------------------
+# Exact-dtype group keys (no float64 collisions)
+# ----------------------------------------------------------------------
+def test_group_inverse_distinguishes_int64_above_2_53():
+    big = 2 ** 53
+    col = np.array([big, big + 1, big, big + 1], dtype=np.int64)
+    inverse, counts = group_inverse([col])
+    assert len(counts) == 2
+    assert counts.tolist() == [2, 2]
+    # The float64 cast the old grouping used collides the two keys.
+    assert np.unique(col.astype(np.float64)).size == 1
+
+
+def test_fd_counting_and_repair_with_int64_keys_above_2_53():
+    rel = Relation([
+        Attribute("k", CategoricalDomain(["x", "y"])),
+        Attribute("d", CategoricalDomain(["p", "q"])),
+    ])
+    big = 2 ** 53
+    # Two determinant keys that collide as float64 but differ as int64;
+    # each group is internally consistent, so there are no violations.
+    table = Table(rel, {
+        "k": np.array([big, big + 1, big, big + 1], dtype=np.int64),
+        "d": np.array([0, 1, 0, 1], dtype=np.int64),
+    }, validate=False)
+    fd = DenialConstraint.fd("kd", "k", "d")
+    assert count_violations(fd, table) == 0
+    np.testing.assert_array_equal(
+        violation_matrix(table, [fd])[:, 0], np.zeros(4))
+    index = build_index(fd)
+    index.build(table.columns, table.n)
+    assert index.total() == 0
+    fixed = repair_violations(table, [fd], seed=0)
+    np.testing.assert_array_equal(fixed.column("d"), table.column("d"))
+
+
+def test_repair_skips_passes_via_index_totals():
+    """A clean table must exit the fixpoint loop without any rewrite."""
+    rel = _chain_relation()
+    table = Table(rel, {
+        "a": np.array([0, 1, 2]),
+        "b": np.array([0, 1, 2]),
+        "c": np.array([0, 1, 2]),
+    })
+    fds = [DenialConstraint.fd("ab", "a", "b"),
+           DenialConstraint.fd("bc", "b", "c")]
+    fixed = repair_violations(table, fds, seed=0)
+    for a in rel.names:
+        np.testing.assert_array_equal(fixed.column(a), table.column(a))
