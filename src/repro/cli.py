@@ -10,6 +10,21 @@ as ``python -m repro.cli``)::
     repro-kamino evaluate bundle_dir/ synth_dir/ --alpha 1 --alpha 2
     repro-kamino ledger ledger.json
 
+Train-once / sample-many (the staged API)::
+
+    repro-kamino fit bundle_dir/ --epsilon 1.0 --out model.npz
+    repro-kamino sample model.npz --schema bundle_dir/schema.json \
+        --dcs bundle_dir/dcs.txt --out synth_a/ --n 1000 --seed 1
+    repro-kamino sample model.npz --schema bundle_dir/schema.json \
+        --dcs bundle_dir/dcs.txt --out synth_b/ --n 50000 --seed 2
+
+``fit`` pays the privacy budget exactly once and writes the released
+model artifact; every ``sample`` afterwards is free post-processing
+that never touches the private data (it only needs the public schema
+and constraints).  ``synthesize`` is the fused convenience (fit one
+bundle, draw one instance); pass ``--save-model`` to keep the fitted
+artifact for later ``sample`` runs.
+
 A *bundle* is the directory layout of :mod:`repro.io.bundle`
 (``schema.json`` + ``data.csv`` + optional ``dcs.txt``).
 """
@@ -25,13 +40,15 @@ import numpy as np
 
 from repro.constraints.algebra import minimize_dcs
 from repro.constraints.discovery import discover_dcs
-from repro.core.kamino import Kamino
+from repro.core.kamino import FittedKamino, Kamino, KaminoConfig
 from repro.constraints.violations import violating_pairs
 from repro.evaluation.marginals import marginal_distances
 from repro.evaluation.violations import dc_violation_report
 from repro.io.bundle import load_bundle, save_bundle
-from repro.io.dc_text import format_dc
-from repro.io.schema_json import relation_to_dict, save_relation
+from repro.io.dc_text import format_dc, load_dcs
+from repro.io.schema_json import (
+    load_relation, relation_to_dict, save_relation,
+)
 from repro.privacy.ledger import PrivacyLedger
 from repro.schema.domain import CategoricalDomain, NumericalDomain
 from repro.schema.relation import Attribute, Relation
@@ -129,39 +146,100 @@ def cmd_discover(args) -> int:
     return 0
 
 
-def cmd_synthesize(args) -> int:
-    bundle = load_bundle(args.bundle)
+def _config_from_args(args) -> KaminoConfig:
+    """Build the pipeline config a ``fit``/``synthesize`` run asked for."""
     epsilon = float("inf") if args.epsilon in ("inf", "none") \
         else float(args.epsilon)
-    kamino = Kamino(bundle.relation, bundle.dcs, epsilon, delta=args.delta,
-                    seed=args.seed)
+    params_override = None
     if args.max_iterations is not None:
         cap = args.max_iterations
 
-        def override(params, cap=cap):
+        def params_override(params, cap=cap):
             params.iterations = min(params.iterations, cap)
-        kamino.params_override = override
-    result = kamino.fit_sample(bundle.table, n=args.n)
+    return KaminoConfig(epsilon=epsilon, delta=args.delta, seed=args.seed,
+                        params_override=params_override)
+
+
+def _record_ledger(args, label: str, private: bool, params) -> None:
+    if not args.ledger:
+        return
+    try:
+        ledger = PrivacyLedger.load(args.ledger)
+    except FileNotFoundError:
+        ledger = PrivacyLedger(args.delta)
+    if private:
+        ledger.record_kamino(label, params)
+        ledger.save(args.ledger)
+        print(f"ledger {args.ledger}: composed "
+              f"epsilon={ledger.spent_epsilon():.4f} "
+              f"over {len(ledger)} releases")
+    else:
+        print("non-private run: nothing recorded in the ledger")
+
+
+def _print_privacy(fitted_or_result, budget: float, delta: float) -> None:
+    params = fitted_or_result.params
+    print(f"privacy: epsilon={params.achieved_epsilon:.4f} "
+          f"(budget {budget}), delta={delta:g}, "
+          f"alpha={params.best_alpha}")
+
+
+def cmd_fit(args) -> int:
+    """Train once: spend the budget, write the released model artifact."""
+    bundle = load_bundle(args.bundle)
+    config = _config_from_args(args)
+    kamino = Kamino(bundle.relation, bundle.dcs, config=config)
+    fitted = kamino.fit(bundle.table)
+    fitted.save(args.out)
+    fit_seconds = sum(fitted.fit_timings.values())
+    print(f"wrote fitted model to {args.out} "
+          f"(trained on n={bundle.n}, fit {fit_seconds:.1f}s)")
+    if fitted.private:
+        _print_privacy(fitted, config.epsilon, args.delta)
+    _record_ledger(args, f"fit:{args.bundle}", fitted.private, fitted.params)
+    return 0
+
+
+def cmd_sample(args) -> int:
+    """Serve many: draw a synthetic bundle from a saved model.
+
+    Pure post-processing — needs only the public schema (and DCs), never
+    the private data, and spends no additional budget.
+    """
+    relation = load_relation(args.schema)
+    dcs = load_dcs(args.dcs, relation=relation) if args.dcs else []
+    fitted = FittedKamino.load(args.model, relation, dcs)
+    missing = sorted(set(fitted.weights) - {dc.name for dc in dcs})
+    if missing:
+        print(f"warning: model was fitted with DC weights for "
+              f"{', '.join(missing)} but they were not supplied via "
+              f"--dcs; the draw will not enforce them (and will differ "
+              f"from the fit-time draw)", file=sys.stderr)
+    result = fitted.sample(n=args.n, seed=args.seed)
+    save_bundle(args.out, result.table, fitted.dcs)
+    print(f"wrote synthetic bundle to {args.out} "
+          f"(n={result.table.n}, sampling "
+          f"{result.timings['Sam.']:.1f}s, no privacy spend)")
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    bundle = load_bundle(args.bundle)
+    config = _config_from_args(args)
+    kamino = Kamino(bundle.relation, bundle.dcs, config=config)
+    fitted = kamino.fit(bundle.table)
+    result = fitted.sample(n=args.n)
+    if args.save_model:
+        fitted.save(args.save_model)
+        print(f"wrote fitted model to {args.save_model} "
+              f"(sample from it with 'repro-kamino sample')")
     save_bundle(args.out, result.table, bundle.dcs)
     print(f"wrote synthetic bundle to {args.out} "
           f"(n={result.table.n}, total {result.total_seconds:.1f}s)")
-    if kamino.private:
-        print(f"privacy: epsilon={result.params.achieved_epsilon:.4f} "
-              f"(budget {epsilon}), delta={args.delta:g}, "
-              f"alpha={result.params.best_alpha}")
-    if args.ledger:
-        try:
-            ledger = PrivacyLedger.load(args.ledger)
-        except FileNotFoundError:
-            ledger = PrivacyLedger(args.delta)
-        if kamino.private:
-            ledger.record_kamino(f"synthesize:{args.bundle}", result.params)
-            ledger.save(args.ledger)
-            print(f"ledger {args.ledger}: composed "
-                  f"epsilon={ledger.spent_epsilon():.4f} "
-                  f"over {len(ledger)} releases")
-        else:
-            print("non-private run: nothing recorded in the ledger")
+    if fitted.private:
+        _print_privacy(result, config.epsilon, args.delta)
+    _record_ledger(args, f"synthesize:{args.bundle}", fitted.private,
+                   result.params)
     return 0
 
 
@@ -178,7 +256,7 @@ def cmd_evaluate(args) -> int:
         for row in rows:
             print(f"  {row['dc']:>16s}: true={row['truth']:.4f}  "
                   f"synthetic={row['synthetic']:.4f}")
-    for alpha in args.alpha:
+    for alpha in args.alpha:  # parser default: (1, 2)
         dists = [d for _, d in marginal_distances(
             true_bundle.table, synth_bundle.table, alpha=alpha,
             max_sets=args.max_sets, seed=args.seed)]
@@ -199,6 +277,34 @@ def cmd_ledger(args) -> int:
 # ----------------------------------------------------------------------
 # Parser wiring
 # ----------------------------------------------------------------------
+class _AppendOverDefault(argparse.Action):
+    """``action="append"`` with a usable parser-level default.
+
+    Plain ``append`` mutates its default in place, so a non-``None``
+    default would accumulate values across invocations; this action
+    replaces the (immutable) default with a fresh list on first use.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        current = getattr(namespace, self.dest, None)
+        if current is self.default or current is None:
+            current = []
+            setattr(namespace, self.dest, current)
+        current.append(values)
+
+
+def _add_budget_arguments(p: argparse.ArgumentParser) -> None:
+    """Budget/seed/override flags shared by ``fit`` and ``synthesize``."""
+    p.add_argument("--epsilon", default="1.0",
+                   help="privacy budget; 'inf' for non-private")
+    p.add_argument("--delta", type=float, default=1e-6)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-iterations", type=int, default=None,
+                   help="cap DP-SGD iterations (fast runs)")
+    p.add_argument("--ledger", default=None,
+                   help="JSON privacy ledger to append this run to")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-kamino",
@@ -230,28 +336,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop duplicate/trivial/implied constraints")
     p.set_defaults(fn=cmd_discover)
 
+    p = sub.add_parser("fit",
+                       help="train a Kamino model on a bundle once "
+                            "(spends the budget), write the model file")
+    p.add_argument("bundle")
+    p.add_argument("--out", required=True,
+                   help="output .npz model file")
+    _add_budget_arguments(p)
+    p.set_defaults(fn=cmd_fit)
+
+    p = sub.add_parser("sample",
+                       help="draw a synthetic bundle from a fitted model "
+                            "(free post-processing, no private data)")
+    p.add_argument("model", help=".npz file written by 'fit'")
+    p.add_argument("--schema", required=True,
+                   help="public schema.json the model was fitted over")
+    p.add_argument("--dcs", default=None,
+                   help="denial constraints file (dcs.txt) to enforce")
+    p.add_argument("--out", required=True)
+    p.add_argument("--n", type=int, default=None,
+                   help="synthetic rows (default: fitted input size)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="draw seed (default: reproduce the fit-time "
+                        "draw, given the same --dcs)")
+    p.set_defaults(fn=cmd_sample)
+
     p = sub.add_parser("synthesize",
                        help="run Kamino on a bundle, write a synthetic "
-                            "bundle")
+                            "bundle (fused fit + sample)")
     p.add_argument("bundle")
-    p.add_argument("--epsilon", default="1.0",
-                   help="privacy budget; 'inf' for non-private")
-    p.add_argument("--delta", type=float, default=1e-6)
     p.add_argument("--n", type=int, default=None,
                    help="synthetic rows (default: same as input)")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", required=True)
-    p.add_argument("--max-iterations", type=int, default=None,
-                   help="cap DP-SGD iterations (fast runs)")
-    p.add_argument("--ledger", default=None,
-                   help="JSON privacy ledger to append this run to")
+    p.add_argument("--save-model", default=None, metavar="MODEL",
+                   help="also persist the fitted model for later "
+                        "'sample' runs")
+    _add_budget_arguments(p)
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("evaluate",
                        help="compare a synthetic bundle against the truth")
     p.add_argument("true_bundle")
     p.add_argument("synth_bundle")
-    p.add_argument("--alpha", type=int, action="append", default=None,
+    p.add_argument("--alpha", type=int, action=_AppendOverDefault,
+                   default=(1, 2), metavar="K",
                    help="marginal order(s); repeatable (default: 1 2)")
     p.add_argument("--max-sets", type=int, default=30)
     p.add_argument("--seed", type=int, default=0)
@@ -266,8 +394,6 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "alpha", ()) is None:
-        args.alpha = [1, 2]
     return args.fn(args)
 
 

@@ -10,7 +10,10 @@
   sampling), the constrained MCMC refinement, the accept-reject
   alternative (Experiment 6), and the hard-FD lookup fast path
   (Experiment 10);
-* :mod:`repro.core.kamino` — Algorithm 1 (end-to-end orchestration).
+* :mod:`repro.core.kamino` — Algorithm 1 (end-to-end orchestration),
+  staged as ``KaminoConfig`` -> ``Kamino.fit`` -> ``FittedKamino``
+  (train once, sample/persist many);
+* :mod:`repro.core.model_io` — persistence for fitted models.
 """
 
 from repro.core.sequencing import sequence_attributes, group_small_domains
@@ -18,13 +21,17 @@ from repro.core.params import KaminoParams, search_dp_params
 from repro.core.training import ProbModel, train_model
 from repro.core.weights import learn_dc_weights
 from repro.core.sampling import ar_sample, synthesize
-from repro.core.kamino import Kamino, KaminoResult
+from repro.core.kamino import (
+    FittedKamino, Kamino, KaminoConfig, KaminoResult,
+)
 from repro.core.growing import GrowingSynthesizer, UpdateDecision
 from repro.core.model_io import load_model, save_model
 
 __all__ = [
+    "FittedKamino",
     "GrowingSynthesizer",
     "Kamino",
+    "KaminoConfig",
     "KaminoParams",
     "KaminoResult",
     "ProbModel",

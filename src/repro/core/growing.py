@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.kamino import Kamino, KaminoResult
+from repro.core.kamino import FittedKamino, Kamino, KaminoResult
 from repro.core.sequencing import sequence_attributes
 from repro.privacy.ledger import PrivacyLedger
 from repro.privacy.mechanisms import GaussianMechanism, gaussian_sigma
@@ -183,14 +183,14 @@ class GrowingSynthesizer:
         self._fingerprint_n = 0
         self._fingerprint_sigma = gaussian_sigma(
             self.fingerprint_epsilon, self.delta)
-        self._result: KaminoResult | None = None
+        self._fitted: FittedKamino | None = None
         self._sequence: list[str] | None = None
         self._runs = 0
 
     # ------------------------------------------------------------------
     @property
     def published(self) -> bool:
-        return self._result is not None
+        return self._fitted is not None
 
     def publish(self, table: Table) -> UpdateDecision:
         """First release: run the full pipeline and store a fingerprint."""
@@ -216,6 +216,16 @@ class GrowingSynthesizer:
                     table, RESEQUENCE,
                     "DC change altered the schema sequence")
             self.dcs = list(dcs)
+            # Same sequence: the stored model stays valid, but future
+            # draws must enforce the updated constraint set.  DCs that
+            # were not present at fit time have no learned weight, so
+            # give them the Algorithm 5 initial weight (hard DCs are
+            # enforced via their hardness flag regardless).
+            self._fitted.dcs = new_dcs
+            for dc in new_dcs:
+                self._fitted.weights.setdefault(
+                    dc.name, math.inf if dc.hard
+                    else self._fitted.params.weight_init)
 
         shift, fp = self._measure_shift(table)
         if shift > self.shift_threshold:
@@ -226,20 +236,10 @@ class GrowingSynthesizer:
             decision.shift = shift
             return decision
 
-        # Post-processing: sample a fresh instance from the stored model.
-        kamino = self._make_kamino()
-        rng = np.random.default_rng(self.seed + 101 + self._runs)
-        from repro.core.sampling import synthesize
-        synthetic = synthesize(
-            self._result.model, self.relation, kamino.dcs,
-            self._result.weights, table.n, self._result.params, rng,
-            hyper=kamino._build_hyper(
-                self._sequence, kamino._independent_attrs(self._sequence)),
-            use_fd_lookup=kamino.use_fd_lookup)
-        result = KaminoResult(
-            table=synthetic, sequence=list(self._sequence),
-            params=self._result.params, weights=dict(self._result.weights),
-            model=self._result.model)
+        # Post-processing: sample a fresh instance from the fitted
+        # model — a pure FittedKamino.sample, no privacy spend.
+        result = self._fitted.sample(n=table.n,
+                                     seed=self.seed + 101 + self._runs)
         return UpdateDecision(
             action=RESAMPLE,
             reason=f"shift {shift:.3f} within threshold "
@@ -268,7 +268,8 @@ class GrowingSynthesizer:
     def _full_run(self, table: Table, action: str,
                   reason: str) -> UpdateDecision:
         kamino = self._make_kamino()
-        result = kamino.fit_sample(table)
+        fitted = kamino.fit(table)
+        result = fitted.sample()
         rng = np.random.default_rng(self.seed + 7919 + self._runs)
         self._fingerprint = noisy_fingerprint(
             table, self._fingerprint_sigma, rng)
@@ -279,7 +280,7 @@ class GrowingSynthesizer:
             f"fingerprint#{self._runs}", self._fingerprint_sigma)
         if kamino.private:
             self.ledger.record_kamino(f"run#{self._runs}", result.params)
-        self._result = result
+        self._fitted = fitted
         self._sequence = list(result.sequence)
         self._runs += 1
         return UpdateDecision(

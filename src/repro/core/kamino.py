@@ -1,4 +1,4 @@
-"""Algorithm 1 — the end-to-end Kamino pipeline.
+"""Algorithm 1 — the end-to-end Kamino pipeline, as staged fit/sample.
 
     S   <- Sequencing(R, D, Phi)               (Algorithm 4, no budget)
     Psi <- SearchDParas(eps, delta, D, S)      (Algorithm 6, no budget)
@@ -6,17 +6,46 @@
     W   <- LearnWeight(D*, Phi, S, M, Psi)     (Algorithm 5, DP)
     D'  <- Synthesize(S, M, Phi, D, W)         (Algorithm 3, post-proc)
 
-:class:`Kamino` wires the pieces together, applies the §4.3 structural
-optimisations (hyper-attribute grouping, large-domain histogram
-fallback), records the per-phase wall-clock profile that Figure 7
-reports, and returns a :class:`KaminoResult`.
+The first four lines touch the private instance and consume the privacy
+budget; the last is pure post-processing.  The public API mirrors that
+split:
+
+* :class:`KaminoConfig` — a frozen, validated bag of every pipeline
+  knob (structure optimisations, engine flags, ablation switches);
+* :class:`Kamino` — binds a schema, the denial constraints, and a
+  config; :meth:`Kamino.fit` runs the budget-consuming phases **once**
+  and returns a
+* :class:`FittedKamino` — the released model artifact.  Its
+  :meth:`~FittedKamino.sample` / :meth:`~FittedKamino.sample_ar` draw
+  synthetic instances of any size, at any seed, as often as wanted,
+  without re-touching the private data or the budget; ``save``/``load``
+  persist it (see :mod:`repro.core.model_io`) so a synthesis service
+  can train on one machine and serve draws from many.
+
+``Kamino.fit_sample`` remains as the one-shot convenience — it is
+literally ``fit(table).sample(n)`` and produces bit-identical output to
+the historical fused pipeline.  :class:`Kamino` also applies the §4.3
+structural optimisations (hyper-attribute grouping, large-domain
+histogram fallback) and records the per-phase wall-clock profile that
+Figure 7 reports.
+
+Typical service shape::
+
+    fitted = Kamino(relation, dcs, config=cfg).fit(private_table)
+    fitted.save("model.npz")                  # budget spent: cfg.epsilon
+    ...
+    fitted = FittedKamino.load("model.npz", relation, dcs)
+    small = fitted.sample(n=1_000,  seed=1)   # free post-processing
+    large = fitted.sample(n=50_000, seed=2)   # still free
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -32,34 +61,15 @@ from repro.core.training import ProbModel, train_model
 from repro.core.weights import learn_dc_weights
 from repro.schema.table import Table
 
-
-@dataclass
-class KaminoResult:
-    """Everything a run produces, for inspection and evaluation."""
-
-    table: Table
-    sequence: list[str]
-    params: KaminoParams
-    weights: dict[str, float]
-    model: ProbModel = None
-    #: Per-phase seconds: Seq. / Tra. / Vio.+DC.W. / Sam. (Figure 7).
-    timings: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(self.timings.values())
+_WEIGHT_ESTIMATORS = ("matrix", "capped")
 
 
-class Kamino:
-    """Constraint-aware differentially private data synthesizer.
+@dataclass(frozen=True)
+class KaminoConfig:
+    """Every knob of the pipeline, validated once, immutable thereafter.
 
     Parameters
     ----------
-    relation:
-        Schema of the private instance.
-    dcs:
-        Denial constraints (hardness flags set); constants should be in
-        raw domain values — they are bound to the schema here.
     epsilon, delta:
         The end-to-end privacy budget.  ``epsilon=math.inf`` runs the
         non-private configuration (Figure 6's rightmost points).
@@ -82,7 +92,9 @@ class Kamino:
     params_override:
         Callable mutating the searched :class:`KaminoParams` before
         training (e.g. to cap iterations in small-scale benchmarks);
-        the accountant re-checks the budget after the override.
+        the accountant re-checks the budget after the override.  Being
+        a callable it is consumed during :meth:`Kamino.fit` and is not
+        part of the persisted model artifact.
     random_sequence:
         Ablation switch (Experiment 5's "RandSequence"): replace
         Algorithm 4 with a seeded random permutation.
@@ -96,52 +108,300 @@ class Kamino:
         informative release); see :mod:`repro.core.weights`.
     """
 
-    def __init__(self, relation, dcs, epsilon: float, delta: float = 1e-6,
-                 seed: int = 0, group_max_domain: int | None = None,
-                 large_domain_threshold: int | None = 1000,
-                 use_fd_lookup: bool = False,
-                 use_violation_index: bool = True,
-                 parallel_training: bool = False,
-                 params_override=None,
-                 random_sequence: bool = False,
-                 constraint_aware_sampling: bool = True,
-                 weight_estimator: str = "matrix"):
-        self.relation = relation
-        self.dcs = [dc.bind(relation) for dc in dcs]
-        self.epsilon = float(epsilon)
-        self.delta = float(delta)
-        self.seed = seed
-        self.group_max_domain = group_max_domain
-        self.large_domain_threshold = large_domain_threshold
-        self.use_fd_lookup = use_fd_lookup
-        self.use_violation_index = use_violation_index
-        self.parallel_training = parallel_training
-        self.params_override = params_override
-        self.random_sequence = random_sequence
-        self.constraint_aware_sampling = constraint_aware_sampling
-        self.weight_estimator = weight_estimator
+    epsilon: float
+    delta: float = 1e-6
+    seed: int = 0
+    group_max_domain: int | None = None
+    large_domain_threshold: int | None = 1000
+    use_fd_lookup: bool = False
+    use_violation_index: bool = True
+    parallel_training: bool = False
+    params_override: Callable[[KaminoParams], None] | None = None
+    random_sequence: bool = False
+    constraint_aware_sampling: bool = True
+    weight_estimator: str = "matrix"
+
+    def __post_init__(self):
+        object.__setattr__(self, "epsilon", float(self.epsilon))
+        object.__setattr__(self, "delta", float(self.delta))
+        if not self.epsilon > 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.group_max_domain is not None and self.group_max_domain < 2:
+            raise ValueError("group_max_domain must be >= 2 or None")
+        if (self.large_domain_threshold is not None
+                and self.large_domain_threshold < 1):
+            raise ValueError("large_domain_threshold must be >= 1 or None")
+        if (self.params_override is not None
+                and not callable(self.params_override)):
+            raise ValueError("params_override must be callable or None")
+        if self.weight_estimator not in _WEIGHT_ESTIMATORS:
+            raise ValueError(
+                f"weight_estimator must be one of {_WEIGHT_ESTIMATORS}, "
+                f"got {self.weight_estimator!r}")
 
     @property
     def private(self) -> bool:
         return math.isfinite(self.epsilon)
 
-    # ------------------------------------------------------------------
-    def fit_sample(self, table: Table, n: int | None = None,
-                   weights: dict[str, float] | None = None) -> KaminoResult:
-        """Run the full pipeline on the private instance ``table``.
+    def replace(self, **changes) -> "KaminoConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
 
-        ``n`` defaults to the input size; pass known DC ``weights`` to
-        skip Algorithm 5 (the paper's "known weights" setting of §4).
+
+#: Config field names, used by the :class:`Kamino` back-compat shim to
+#: forward attribute reads/writes onto the frozen config.
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(KaminoConfig))
+
+#: Sentinel distinguishing "knob not passed" from any real value, so
+#: ``Kamino(..., config=cfg, seed=5)`` can be rejected instead of
+#: silently dropping ``seed``.
+_UNSET = object()
+
+
+@dataclass
+class KaminoResult:
+    """Everything a run produces, for inspection and evaluation."""
+
+    table: Table
+    sequence: list[str]
+    params: KaminoParams
+    weights: dict[str, float]
+    model: ProbModel | None = None
+    #: Grouping spec the sampler used (trivial when grouping is off).
+    hyper: HyperSpec | None = None
+    #: Per-phase seconds: Seq. / Tra. / Vio.+DC.W. / Sam. (Figure 7).
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.timings.values())
+
+
+@dataclass
+class FittedKamino:
+    """A trained Kamino model: the releasable, budget-consumed artifact.
+
+    Produced by :meth:`Kamino.fit`.  Holds the learned probabilistic
+    data model, the DC weights, the schema sequence and structural
+    specs, and the post-fit sampler randomness state — everything
+    Algorithm 3 needs, and nothing that touches the private instance.
+    Sampling from it is pure post-processing: every draw (any ``n``,
+    any ``seed``, direct or accept-reject) is free under DP.
+    """
+
+    relation: object
+    dcs: list
+    config: KaminoConfig
+    sequence: list[str]
+    independent: list[str]
+    hyper: HyperSpec
+    params: KaminoParams
+    weights: dict[str, float]
+    model: ProbModel
+    #: Input size; the default draw size of :meth:`sample`.
+    default_n: int
+    #: Seq./Tra./DC.W. seconds of the fit phases.
+    fit_timings: dict[str, float] = field(default_factory=dict)
+    #: Bit-generator state right after training — ``sample(seed=None)``
+    #: resumes from here, which is what makes ``fit(t).sample(n)``
+    #: bit-identical to the historical fused ``fit_sample(t, n)``.
+    sampling_state: dict | None = None
+
+    @property
+    def private(self) -> bool:
+        return self.config.private
+
+    # ------------------------------------------------------------------
+    def _sampling_rng(self, seed, offset: int = 0) -> np.random.Generator:
+        if seed is not None:
+            return np.random.default_rng(seed)
+        if offset == 0 and self.sampling_state is not None:
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = self.sampling_state
+            return rng
+        return np.random.default_rng(self.config.seed + offset)
+
+    def _result(self, synthetic: Table, seconds: float) -> KaminoResult:
+        timings = dict(self.fit_timings)
+        timings["Sam."] = seconds
+        return KaminoResult(table=synthetic, sequence=list(self.sequence),
+                            params=self.params, weights=dict(self.weights),
+                            model=self.model, hyper=self.hyper,
+                            timings=timings)
+
+    def sample(self, n: int | None = None, seed: int | None = None,
+               ) -> KaminoResult:
+        """Draw a synthetic instance (Algorithm 3, post-processing).
+
+        ``n`` defaults to the fitted input size.  ``seed=None`` resumes
+        the pipeline rng where :meth:`Kamino.fit` left it (so the first
+        default draw reproduces the fused ``fit_sample`` bit for bit,
+        and repeated default draws are identical); pass distinct seeds
+        for distinct draws.
         """
-        rng = np.random.default_rng(self.seed)
-        n_out = table.n if n is None else int(n)
+        n_out = self.default_n if n is None else int(n)
+        rng = self._sampling_rng(seed)
+        cfg = self.config
+        sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
+        start = time.perf_counter()
+        synthetic = synthesize(
+            self.model, self.relation, sampled_dcs, self.weights, n_out,
+            self.params, rng, hyper=self.hyper,
+            use_fd_lookup=cfg.use_fd_lookup,
+            use_violation_index=cfg.use_violation_index)
+        return self._result(synthetic, time.perf_counter() - start)
+
+    def sample_ar(self, n: int | None = None, seed: int | None = None,
+                  max_tries: int = 300) -> KaminoResult:
+        """Accept-reject draw (the Experiment 6 sampler variant)."""
+        n_out = self.default_n if n is None else int(n)
+        rng = self._sampling_rng(seed, offset=1)
+        cfg = self.config
+        sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
+        start = time.perf_counter()
+        synthetic = ar_sample(
+            self.model, self.relation, sampled_dcs, self.weights, n_out,
+            self.params, rng, hyper=self.hyper, max_tries=max_tries,
+            use_violation_index=cfg.use_violation_index)
+        return self._result(synthetic, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        """Persist the fitted model to a ``.npz`` file.
+
+        Everything except the DCs and the schema round-trips — both are
+        public inputs the caller already persists (see
+        :mod:`repro.io`) and must supply again to :meth:`load`.
+        """
+        from repro.core.model_io import save_fitted
+        save_fitted(path, self)
+
+    @classmethod
+    def load(cls, path: str, relation, dcs) -> "FittedKamino":
+        """Reload a fitted model saved by :meth:`save`.
+
+        ``relation`` and ``dcs`` are the same public schema and denial
+        constraints the model was fitted with; constants in the DCs are
+        bound to the schema here.
+        """
+        from repro.core.model_io import load_fitted
+        payload = load_fitted(path, relation)
+        bound = [dc.bind(relation) for dc in dcs]
+        return cls(relation=relation, dcs=bound, config=payload["config"],
+                   sequence=payload["sequence"],
+                   independent=payload["independent"],
+                   hyper=payload["hyper"], params=payload["params"],
+                   weights=payload["weights"], model=payload["model"],
+                   default_n=payload["default_n"],
+                   fit_timings=payload["fit_timings"],
+                   sampling_state=payload["sampling_state"])
+
+
+class Kamino:
+    """Constraint-aware differentially private data synthesizer.
+
+    Binds the public inputs — ``relation`` (the schema) and ``dcs``
+    (denial constraints, hardness flags set; constants in raw domain
+    values are bound to the schema here) — to a :class:`KaminoConfig`.
+
+    Two construction styles::
+
+        Kamino(relation, dcs, config=KaminoConfig(epsilon=1.0, seed=3))
+        Kamino(relation, dcs, 1.0, seed=3)     # back-compat shim
+
+    The second forwards the keyword knobs into a ``KaminoConfig``;
+    attribute reads and writes (``kamino.seed``, ``kamino.use_fd_lookup
+    = True``) keep working and transparently re-derive the frozen
+    config.
+
+    :meth:`fit` runs the budget-consuming phases and returns a
+    :class:`FittedKamino`; :meth:`fit_sample` / :meth:`fit_sample_ar`
+    are the fused conveniences (``fit().sample()`` /
+    ``fit().sample_ar()``).
+    """
+
+    def __init__(self, relation, dcs, epsilon: float | None = None,
+                 delta: float = _UNSET, seed: int = _UNSET,
+                 group_max_domain: int | None = _UNSET,
+                 large_domain_threshold: int | None = _UNSET,
+                 use_fd_lookup: bool = _UNSET,
+                 use_violation_index: bool = _UNSET,
+                 parallel_training: bool = _UNSET,
+                 params_override=_UNSET,
+                 random_sequence: bool = _UNSET,
+                 constraint_aware_sampling: bool = _UNSET,
+                 weight_estimator: str = _UNSET,
+                 config: KaminoConfig | None = None):
+        knobs = {
+            name: value for name, value in (
+                ("delta", delta), ("seed", seed),
+                ("group_max_domain", group_max_domain),
+                ("large_domain_threshold", large_domain_threshold),
+                ("use_fd_lookup", use_fd_lookup),
+                ("use_violation_index", use_violation_index),
+                ("parallel_training", parallel_training),
+                ("params_override", params_override),
+                ("random_sequence", random_sequence),
+                ("constraint_aware_sampling", constraint_aware_sampling),
+                ("weight_estimator", weight_estimator),
+            ) if value is not _UNSET}
+        if config is None:
+            if epsilon is None:
+                raise TypeError(
+                    "Kamino() needs either epsilon=... or config=...")
+            config = KaminoConfig(epsilon=epsilon, **knobs)
+        elif epsilon is not None or knobs:
+            given = ((["epsilon"] if epsilon is not None else [])
+                     + sorted(knobs))
+            raise TypeError(
+                "config= is exclusive with epsilon and the individual "
+                f"knob arguments (got {', '.join(given)})")
+        self.relation = relation
+        self.dcs = [dc.bind(relation) for dc in dcs]
+        self.config = config
+
+    # -- config delegation (back-compat attribute surface) --------------
+    def __getattr__(self, name):
+        config = self.__dict__.get("config")
+        if config is not None and name in _CONFIG_FIELDS:
+            return getattr(config, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def __setattr__(self, name, value):
+        if name in _CONFIG_FIELDS and "config" in self.__dict__:
+            object.__setattr__(
+                self, "config", self.config.replace(**{name: value}))
+        else:
+            object.__setattr__(self, name, value)
+
+    @property
+    def private(self) -> bool:
+        return self.config.private
+
+    # ------------------------------------------------------------------
+    def fit(self, table: Table,
+            weights: dict[str, float] | None = None) -> FittedKamino:
+        """Run the budget-consuming phases on the private ``table``.
+
+        Sequencing (Algorithm 4), parameter search (Algorithm 6), model
+        training (Algorithm 2), and DC-weight learning (Algorithm 5) —
+        everything that touches the private instance — happen here,
+        once.  Pass known DC ``weights`` to skip Algorithm 5 (the
+        paper's "known weights" setting of §4).  The returned
+        :class:`FittedKamino` samples any number of instances for free.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
         timings: dict[str, float] = {}
 
         # -- Sequencing (Algorithm 4) + structure ----------------------
         start = time.perf_counter()
-        if self.random_sequence:
+        if cfg.random_sequence:
             sequence = list(self.relation.names)
-            np.random.default_rng(self.seed + 17).shuffle(sequence)
+            np.random.default_rng(cfg.seed + 17).shuffle(sequence)
         else:
             sequence = sequence_attributes(self.relation, self.dcs)
         independent = self._independent_attrs(sequence)
@@ -156,25 +416,25 @@ class Kamino:
                           0)
         if self.private:
             params = search_dp_params(
-                self.epsilon, self.delta, hyper.working_relation,
+                cfg.epsilon, cfg.delta, hyper.working_relation,
                 hyper.working_sequence, table.n,
                 learn_weights=learn_weights, n_hist=n_hist,
                 n_submodels=n_submodels)
         else:
             params = KaminoParams(
-                epsilon=math.inf, delta=self.delta, n=table.n,
+                epsilon=math.inf, delta=cfg.delta, n=table.n,
                 k=len(hyper.working_sequence),
                 iterations=max(1, (2 * table.n) // 32),
                 learn_weights=learn_weights, n_hist=n_hist,
                 n_submodels=n_submodels)
-        if self.params_override is not None:
-            self.params_override(params)
+        if cfg.params_override is not None:
+            cfg.params_override(params)
             if self.private:
                 achieved, alpha = params.accounted_epsilon()
-                if achieved > self.epsilon * (1 + 1e-9):
+                if achieved > cfg.epsilon * (1 + 1e-9):
                     raise ValueError(
                         f"params_override broke the budget: "
-                        f"{achieved:.4f} > {self.epsilon}")
+                        f"{achieved:.4f} > {cfg.epsilon}")
                 params.achieved_epsilon = achieved
                 params.best_alpha = alpha
 
@@ -184,7 +444,7 @@ class Kamino:
         model = train_model(
             working, hyper.working_relation, hyper.working_sequence, params,
             rng, independent_attrs=independent,
-            parallel=self.parallel_training, private=self.private)
+            parallel=cfg.parallel_training, private=self.private)
         timings["Tra."] = time.perf_counter() - start
 
         # -- DC weights (Algorithm 5) -----------------------------------
@@ -192,7 +452,7 @@ class Kamino:
         if weights is None:
             weights = learn_dc_weights(table, self.dcs, sequence, params,
                                        rng, private=self.private,
-                                       estimator=self.weight_estimator)
+                                       estimator=cfg.weight_estimator)
         else:
             weights = dict(weights)
             for dc in self.dcs:
@@ -200,67 +460,49 @@ class Kamino:
                                    else params.weight_init)
         timings["DC.W."] = time.perf_counter() - start
 
-        # -- Sampling (Algorithm 3, post-processing) --------------------
-        start = time.perf_counter()
-        sampled_dcs = self.dcs if self.constraint_aware_sampling else []
-        synthetic = synthesize(model, self.relation, sampled_dcs, weights,
-                               n_out, params, rng, hyper=hyper,
-                               use_fd_lookup=self.use_fd_lookup,
-                               use_violation_index=self.use_violation_index)
-        timings["Sam."] = time.perf_counter() - start
+        return FittedKamino(
+            relation=self.relation, dcs=list(self.dcs), config=cfg,
+            sequence=sequence, independent=independent, hyper=hyper,
+            params=params, weights=weights, model=model,
+            default_n=table.n, fit_timings=timings,
+            sampling_state=rng.bit_generator.state)
 
-        return KaminoResult(table=synthetic, sequence=sequence,
-                            params=params, weights=weights, model=model,
-                            timings=timings)
+    def fit_sample(self, table: Table, n: int | None = None,
+                   weights: dict[str, float] | None = None) -> KaminoResult:
+        """Fused convenience: ``fit(table).sample(n)``.
+
+        ``n`` defaults to the input size; pass known DC ``weights`` to
+        skip Algorithm 5.  Prefer :meth:`fit` + repeated
+        :meth:`FittedKamino.sample` when more than one draw is needed —
+        the training cost (and the privacy budget) is paid only once.
+        """
+        return self.fit(table, weights=weights).sample(n)
 
     def fit_sample_ar(self, table: Table, n: int | None = None,
                       weights: dict[str, float] | None = None,
                       max_tries: int = 300) -> KaminoResult:
         """The Experiment 6 variant: accept-reject sampling instead of
         direct target-distribution sampling."""
-        result = self._fit_only(table, weights)
-        rng = np.random.default_rng(self.seed + 1)
-        n_out = table.n if n is None else int(n)
-        start = time.perf_counter()
-        synthetic = ar_sample(result.model, self.relation, self.dcs,
-                              result.weights, n_out, result.params, rng,
-                              hyper=result._hyper, max_tries=max_tries,
-                              use_violation_index=self.use_violation_index)
-        result.timings["Sam."] = time.perf_counter() - start
-        result.table = synthetic
-        return result
+        return self.fit(table, weights=weights).sample_ar(
+            n, max_tries=max_tries)
 
     # ------------------------------------------------------------------
-    def _fit_only(self, table: Table, weights) -> KaminoResult:
-        """Train everything but do not sample (used by the AR variant)."""
-        saved = self.use_fd_lookup
-        result = None
-        try:
-            self.use_fd_lookup = False
-            result = self.fit_sample(table, n=1, weights=weights)
-        finally:
-            self.use_fd_lookup = saved
-        sequence = result.sequence
-        independent = self._independent_attrs(sequence)
-        result._hyper = self._build_hyper(sequence, independent)
-        return result
-
     def _independent_attrs(self, sequence) -> list[str]:
-        if self.large_domain_threshold is None:
+        if self.config.large_domain_threshold is None:
             return []
         independent = large_domain_attributes(
-            self.relation, self.large_domain_threshold)
+            self.relation, self.config.large_domain_threshold)
         # The first attribute is already histogram-modeled.
         return [a for a in independent if a != sequence[0]]
 
     def _build_hyper(self, sequence, independent) -> HyperSpec:
-        if self.group_max_domain is None:
+        if self.config.group_max_domain is None:
             return HyperSpec.trivial(self.relation, sequence)
         # Independent attributes must stay singleton (they are sampled
         # from standalone histograms, not sub-models).
         groups = []
         for group in group_small_domains(self.relation, sequence,
-                                         self.group_max_domain):
+                                         self.config.group_max_domain):
             if any(a in independent for a in group) and len(group) > 1:
                 groups.extend([[a] for a in group])
             else:

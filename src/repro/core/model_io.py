@@ -1,26 +1,35 @@
 """Persistence for trained probabilistic data models.
 
 Training is the expensive, privacy-consuming phase; sampling is free
-post-processing.  Saving the fitted :class:`~repro.core.training.ProbModel`
-(plus the DC weights and the sampling-relevant parameters) lets a data
-owner synthesize more instances later — different sizes, different
-seeds — without touching the private data or the budget again::
+post-processing.  Persisting the fitted model lets a data owner
+synthesize more instances later — different sizes, different seeds,
+different machines — without touching the private data or the budget
+again.  The staged API makes this one line each way::
 
-    result = kamino.fit_sample(private_table)
-    save_model("model.npz", result.model, result.weights, result.params)
+    fitted = Kamino(relation, dcs, config=cfg).fit(private_table)
+    fitted.save("model.npz")
     ...
-    model, weights, params = load_model("model.npz", relation)
-    more = synthesize(model, relation, dcs, weights, 10_000, params, rng)
+    fitted = FittedKamino.load("model.npz", relation, dcs)
+    more = fitted.sample(n=10_000, seed=1).table
+
+The lower-level :func:`save_model` / :func:`load_model` pair persists
+just the ``(model, weights, params)`` triple for callers that drive
+:func:`repro.core.sampling.synthesize` themselves.
 
 Format: one ``.npz`` holding every parameter array (namespaced per
 sub-model, so parallel-trained models with per-model encoders round-trip
-too) plus a JSON metadata blob.  The relation is *not* stored — it is
-public schema the caller already persists via :mod:`repro.io`; passing a
-mismatching relation fails fast.
+too) plus a JSON metadata blob.  Version 2 of the format additionally
+records the hyper-attribute grouping (as member-name groups — the
+working relation is re-derived from them), the schema sequence, the
+independent-attribute set, the :class:`~repro.core.kamino.KaminoConfig`,
+and the post-fit sampler randomness state, so grouped and
+large-domain-fallback models round-trip and a reloaded model reproduces
+the original draws bit for bit.  Version 1 files still load.
 
-Scope: models over the plain schema (no hyper-attribute grouping — the
-grouped working relation is an internal artifact; re-run Kamino for
-those).
+The relation is *not* stored — it is public schema the caller already
+persists via :mod:`repro.io`; passing a mismatching relation fails
+fast.  Denial constraints are likewise re-supplied on load
+(:meth:`FittedKamino.load`); only their learned weights are stored.
 """
 
 from __future__ import annotations
@@ -31,16 +40,26 @@ import math
 import numpy as np
 
 from repro.aimnet import AimNet, EmbeddingStore
+from repro.core.hyper import HyperSpec
 from repro.core.params import KaminoParams
 from repro.core.training import HistogramModel, ProbModel
 from repro.schema.quantize import Quantizer
 
-FORMAT_TAG = "repro.model/1"
+FORMAT_TAG = "repro.model/2"
+_V1_FORMAT_TAG = "repro.model/1"
 
 #: KaminoParams fields the sampler reads; everything else is training
 #: state that has already been consumed.
 _SAMPLING_PARAMS = ("epsilon", "delta", "num_candidates", "mcmc_m",
                     "quant_bins", "n", "k")
+
+#: KaminoConfig fields that are persisted (all but ``params_override``,
+#: which is a callable consumed during fit).
+_PERSISTED_CONFIG = ("epsilon", "delta", "seed", "group_max_domain",
+                     "large_domain_threshold", "use_fd_lookup",
+                     "use_violation_index", "parallel_training",
+                     "random_sequence", "constraint_aware_sampling",
+                     "weight_estimator")
 
 
 def _histogram_meta(hist: HistogramModel) -> dict:
@@ -70,13 +89,28 @@ def _store_is_shared(model: ProbModel) -> bool:
     return len(model.submodels) <= 1
 
 
-def save_model(path: str, model: ProbModel, weights: dict,
-               params: KaminoParams) -> None:
-    """Write the model, DC weights, and sampling parameters to ``path``."""
-    if any("+" in w for w in model.sequence):
-        raise ValueError(
-            "hyper-attribute models are not persistable; re-run with "
-            "group_max_domain=None")
+def _encode_weights(weights: dict) -> dict:
+    return {name: ("inf" if math.isinf(w) else float(w))
+            for name, w in weights.items()}
+
+
+def _decode_weights(meta_weights: dict) -> dict:
+    return {name: (math.inf if w == "inf" else float(w))
+            for name, w in meta_weights.items()}
+
+
+def _base_meta(model: ProbModel, weights: dict, params: KaminoParams,
+               hyper: HyperSpec | None) -> tuple[dict, dict]:
+    """The (meta, arrays) common to plain and fitted saves."""
+    is_hyper = any("+" in w for w in model.sequence)
+    if is_hyper:
+        if hyper is None:
+            raise ValueError(
+                "hyper-attribute models need their HyperSpec to "
+                "round-trip; pass hyper= (or save via FittedKamino.save)")
+        if set(model.sequence) - set(hyper.working_sequence):
+            raise ValueError(
+                "hyper spec does not cover the model sequence")
     arrays: dict[str, np.ndarray] = {"first.probs": model.first.probs}
     meta = {
         "format": FORMAT_TAG,
@@ -84,13 +118,17 @@ def save_model(path: str, model: ProbModel, weights: dict,
                if model.submodels else 0,
         "sequence": model.sequence,
         "schema": model.relation.names,
+        "base_schema": (hyper.relation.names if hyper is not None
+                        else model.relation.names),
+        "hyper_groups": hyper.groups if hyper is not None else None,
         "targets": {t: model.context_attrs[t] for t in model.submodels},
         "first": _histogram_meta(model.first),
         "independent": {},
         "shared_store": _store_is_shared(model),
-        "weights": {name: ("inf" if math.isinf(w) else float(w))
-                    for name, w in weights.items()},
+        "weights": _encode_weights(weights),
         "params": {f: getattr(params, f) for f in _SAMPLING_PARAMS},
+        "params_extra": {"achieved_epsilon": params.achieved_epsilon,
+                         "best_alpha": params.best_alpha},
     }
     for attr, hist in model.independent.items():
         meta["independent"][attr] = _histogram_meta(hist)
@@ -98,33 +136,79 @@ def save_model(path: str, model: ProbModel, weights: dict,
     for target, sub in model.submodels.items():
         for p in sub.parameters():
             arrays[f"{target}::{p.name}"] = p.value
+    return meta, arrays
+
+
+def save_model(path: str, model: ProbModel, weights: dict,
+               params: KaminoParams, hyper: HyperSpec | None = None) -> None:
+    """Write the model, DC weights, and sampling parameters to ``path``.
+
+    Models over a grouped working relation additionally need the
+    ``hyper`` spec (its member groups are stored so the working relation
+    can be re-derived on load).
+    """
+    meta, arrays = _base_meta(model, weights, params, hyper)
     arrays["meta.json"] = np.array(json.dumps(meta))
     np.savez(path, **arrays)
 
 
-def load_model(path: str, relation
-               ) -> tuple[ProbModel, dict, KaminoParams]:
-    """Read back ``(model, weights, params)`` saved by :func:`save_model`.
+def save_fitted(path: str, fitted) -> None:
+    """Write a full :class:`~repro.core.kamino.FittedKamino` to ``path``.
 
-    ``relation`` must be the same public schema the model was trained
-    over (attribute names are checked; domains are trusted, as they are
-    part of the same public schema file).
+    On top of :func:`save_model` this records the schema sequence, the
+    independent-attribute set, the config, the fit timings, and the
+    post-fit sampler state, so the reloaded artifact reproduces the
+    original default draw bit for bit.
     """
+    meta, arrays = _base_meta(fitted.model, fitted.weights, fitted.params,
+                              fitted.hyper)
+    config = fitted.config
+    meta["fitted"] = {
+        "sequence": list(fitted.sequence),
+        "independent": list(fitted.independent),
+        "default_n": int(fitted.default_n),
+        "fit_timings": {k: float(v)
+                        for k, v in fitted.fit_timings.items()},
+        "sampling_state": fitted.sampling_state,
+        "config": {f: getattr(config, f) for f in _PERSISTED_CONFIG},
+        "params_override_used": config.params_override is not None,
+    }
+    arrays["meta.json"] = np.array(json.dumps(meta))
+    np.savez(path, **arrays)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _read_npz(path: str) -> tuple[dict, dict]:
     with np.load(path, allow_pickle=False) as data:
         meta = json.loads(str(data["meta.json"]))
-        if meta.get("format") != FORMAT_TAG:
+        if meta.get("format") not in (FORMAT_TAG, _V1_FORMAT_TAG):
             raise ValueError(
                 f"unsupported model format {meta.get('format')!r}")
-        if sorted(meta["schema"]) != sorted(relation.names):
-            raise ValueError(
-                f"schema mismatch: model was trained over "
-                f"{sorted(meta['schema'])}, got {sorted(relation.names)}")
         arrays = {key: data[key] for key in data.files}
+    return meta, arrays
 
-    first = _rebuild_histogram(relation, meta["first"],
+
+def _rebuild_model(meta: dict, arrays: dict, relation
+                   ) -> tuple[ProbModel, HyperSpec | None]:
+    groups = meta.get("hyper_groups")
+    base_schema = meta.get("base_schema", meta["schema"])
+    if sorted(base_schema) != sorted(relation.names):
+        raise ValueError(
+            f"schema mismatch: model was trained over "
+            f"{sorted(base_schema)}, got {sorted(relation.names)}")
+    if groups is not None:
+        hyper = HyperSpec(relation, groups)
+        model_relation = hyper.working_relation
+    else:
+        hyper = None
+        model_relation = relation
+
+    first = _rebuild_histogram(model_relation, meta["first"],
                                arrays["first.probs"])
     independent = {
-        attr: _rebuild_histogram(relation, h_meta,
+        attr: _rebuild_histogram(model_relation, h_meta,
                                  arrays[f"indep.{attr}.probs"])
         for attr, h_meta in meta["independent"].items()
     }
@@ -142,7 +226,7 @@ def load_model(path: str, relation
         context = list(meta["targets"][target])
         store = shared if shared is not None \
             else EmbeddingStore(meta["dim"], rng)
-        sub = AimNet(relation, context, target, meta["dim"], rng,
+        sub = AimNet(model_relation, context, target, meta["dim"], rng,
                      store=store)
         for p in sub.parameters():
             key = f"{target}::{p.name}"
@@ -155,10 +239,62 @@ def load_model(path: str, relation
         submodels[target] = sub
         context_attrs[target] = context
 
-    weights = {name: (math.inf if w == "inf" else float(w))
-               for name, w in meta["weights"].items()}
+    model = ProbModel(model_relation, meta["sequence"], first, submodels,
+                      independent, context_attrs)
+    return model, hyper
+
+
+def _rebuild_params(meta: dict) -> KaminoParams:
     params = KaminoParams(
         **{f: meta["params"][f] for f in _SAMPLING_PARAMS})
-    model = ProbModel(relation, meta["sequence"], first, submodels,
-                      independent, context_attrs)
-    return model, weights, params
+    extra = meta.get("params_extra")
+    if extra is not None:
+        params.achieved_epsilon = extra["achieved_epsilon"]
+        params.best_alpha = extra["best_alpha"]
+    return params
+
+
+def load_model(path: str, relation
+               ) -> tuple[ProbModel, dict, KaminoParams]:
+    """Read back ``(model, weights, params)`` saved by :func:`save_model`.
+
+    ``relation`` must be the same public schema the model was trained
+    over (attribute names are checked; domains are trusted, as they are
+    part of the same public schema file).  Grouped models are rebuilt
+    over the working relation re-derived from the stored groups; use
+    :func:`load_fitted` to also recover the :class:`HyperSpec` the
+    sampler needs.
+    """
+    meta, arrays = _read_npz(path)
+    model, _ = _rebuild_model(meta, arrays, relation)
+    weights = _decode_weights(meta["weights"])
+    return model, weights, _rebuild_params(meta)
+
+
+def load_fitted(path: str, relation) -> dict:
+    """Read back everything :func:`save_fitted` stored, as a payload
+    dict consumed by :meth:`repro.core.kamino.FittedKamino.load`."""
+    from repro.core.kamino import KaminoConfig
+
+    meta, arrays = _read_npz(path)
+    fitted_meta = meta.get("fitted")
+    if fitted_meta is None:
+        raise ValueError(
+            f"{path} holds a bare model (save_model), not a fitted "
+            f"pipeline artifact; load it with load_model() instead")
+    model, hyper = _rebuild_model(meta, arrays, relation)
+    if hyper is None:
+        hyper = HyperSpec.trivial(relation, fitted_meta["sequence"])
+    config = KaminoConfig(params_override=None, **fitted_meta["config"])
+    return {
+        "model": model,
+        "hyper": hyper,
+        "weights": _decode_weights(meta["weights"]),
+        "params": _rebuild_params(meta),
+        "config": config,
+        "sequence": list(fitted_meta["sequence"]),
+        "independent": list(fitted_meta["independent"]),
+        "default_n": int(fitted_meta["default_n"]),
+        "fit_timings": dict(fitted_meta["fit_timings"]),
+        "sampling_state": fitted_meta["sampling_state"],
+    }

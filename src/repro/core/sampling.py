@@ -33,6 +33,13 @@ and the per-candidate count at line 8 becomes an O(group) probe instead
 of an O(prefix) broadcast rescan.  DC shapes without an indexable
 structure fall back to the scan engine; counts are bit-identical in
 both modes.
+
+Both entry points are pure post-processing over a trained model: they
+read only the model, the (public) DCs and weights, and an rng.  Each
+call builds its own fresh violation-index state, so one
+:class:`~repro.core.kamino.FittedKamino` can serve arbitrarily many
+concurrent draws at different sizes and seeds — the train-once /
+sample-many service shape.
 """
 
 from __future__ import annotations

@@ -148,6 +148,95 @@ def test_cmd_synthesize_non_private(tpch_bundle, tmp_path, capsys):
     assert "privacy:" not in capsys.readouterr().out
 
 
+def test_cmd_fit_then_sample_many(tpch_bundle, tmp_path, capsys):
+    """fit once -> two samples at different seeds/sizes, no retraining."""
+    model_path = tmp_path / "model.npz"
+    ledger_path = tmp_path / "ledger.json"
+    code = main(["fit", tpch_bundle, "--epsilon", "1.0",
+                 "--max-iterations", "8", "--out", str(model_path),
+                 "--ledger", str(ledger_path)])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "wrote fitted model" in text and "privacy: epsilon=" in text
+
+    schema = f"{tpch_bundle}/schema.json"
+    dcs = f"{tpch_bundle}/dcs.txt"
+    out_a, out_b = tmp_path / "synth_a", tmp_path / "synth_b"
+    for out, n, seed in ((out_a, "40", "1"), (out_b, "120", "2")):
+        code = main(["sample", str(model_path), "--schema", schema,
+                     "--dcs", dcs, "--out", str(out), "--n", n,
+                     "--seed", seed])
+        assert code == 0
+        assert "no privacy spend" in capsys.readouterr().out
+    assert load_bundle(str(out_a)).n == 40
+    assert load_bundle(str(out_b)).n == 120
+
+    # Only the fit consumed budget: one ledger entry, within epsilon.
+    ledger = PrivacyLedger.load(str(ledger_path))
+    assert len(ledger) == 1
+    assert 0 < ledger.spent_epsilon() <= 1.0 + 1e-6
+
+    # The sampled bundles evaluate cleanly against the truth.
+    assert main(["evaluate", tpch_bundle, str(out_b)]) == 0
+    out = capsys.readouterr().out
+    assert "Metric I" in out and "Metric III" in out
+
+
+def test_cmd_sample_deterministic_per_seed(tpch_bundle, tmp_path, capsys):
+    model_path = tmp_path / "model.npz"
+    assert main(["fit", tpch_bundle, "--epsilon", "inf",
+                 "--max-iterations", "8", "--out", str(model_path)]) == 0
+    schema = f"{tpch_bundle}/schema.json"
+    outs = []
+    for name in ("s1", "s2"):
+        out = tmp_path / name
+        assert main(["sample", str(model_path), "--schema", schema,
+                     "--out", str(out), "--n", "30", "--seed", "7"]) == 0
+        outs.append(load_bundle(str(out)).table)
+    capsys.readouterr()
+    for attr in outs[0].relation.names:
+        np.testing.assert_array_equal(outs[0].column(attr),
+                                      outs[1].column(attr))
+
+
+def test_cmd_synthesize_save_model_round_trip(tpch_bundle, tmp_path,
+                                              capsys):
+    out_dir = tmp_path / "synth"
+    model_path = tmp_path / "model.npz"
+    code = main(["synthesize", tpch_bundle, "--epsilon", "1.0",
+                 "--out", str(out_dir), "--max-iterations", "8",
+                 "--save-model", str(model_path)])
+    assert code == 0
+    assert "wrote fitted model" in capsys.readouterr().out
+    # The saved model reproduces the synthesize draw (default state).
+    resampled = tmp_path / "resampled"
+    assert main(["sample", str(model_path),
+                 "--schema", f"{tpch_bundle}/schema.json",
+                 "--dcs", f"{tpch_bundle}/dcs.txt",
+                 "--out", str(resampled)]) == 0
+    capsys.readouterr()
+    a = load_bundle(str(out_dir)).table
+    b = load_bundle(str(resampled)).table
+    for attr in a.relation.names:
+        np.testing.assert_array_equal(a.column(attr), b.column(attr))
+
+
+def test_cmd_evaluate_alpha_defaults(tpch_bundle, tmp_path, capsys):
+    """--alpha has a true parser-level default of (1, 2)."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    args = parser.parse_args(["evaluate", "a", "b"])
+    assert tuple(args.alpha) == (1, 2)
+    args = parser.parse_args(["evaluate", "a", "b", "--alpha", "3"])
+    assert args.alpha == [3]
+    args = parser.parse_args(["evaluate", "a", "b",
+                              "--alpha", "1", "--alpha", "3"])
+    assert args.alpha == [1, 3]
+    # The default tuple is never mutated by an invocation.
+    args = parser.parse_args(["evaluate", "a", "b"])
+    assert tuple(args.alpha) == (1, 2)
+
+
 def test_cmd_evaluate_schema_mismatch(tpch_bundle, tmp_path, capsys):
     other = load("adult", n=20, seed=0)
     directory = tmp_path / "adult"

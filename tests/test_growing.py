@@ -126,6 +126,26 @@ def test_update_reruns_on_sequence_changing_dcs():
     assert "sequence" in decision.reason
 
 
+def test_update_same_sequence_new_soft_dc_gets_weight():
+    """A DC added without changing the sequence must still be enforced
+    by later draws: it gets the Algorithm 5 initial weight."""
+    from repro.core.sequencing import sequence_attributes
+
+    dataset = load("tpch", n=150, seed=0)
+    synth = _make(dataset)
+    synth.publish(dataset.table)
+    extra = DenialConstraint.fd("extra_soft", "c_custkey",
+                                "c_mktsegment", hard=False)
+    new_dcs = list(dataset.dcs) + [extra]
+    bound = [dc.bind(dataset.relation) for dc in new_dcs]
+    if sequence_attributes(dataset.relation, bound) != synth._sequence:
+        pytest.skip("added DC changes the sequence on this instance")
+    decision = synth.update(_grown_version(dataset.table), dcs=new_dcs)
+    assert decision.action == RESAMPLE
+    assert synth._fitted.weights["extra_soft"] == pytest.approx(
+        synth._fitted.params.weight_init)
+
+
 def test_ledger_accumulates_across_updates():
     dataset = load("tpch", n=120, seed=0)
     ledger = PrivacyLedger(delta=1e-6)

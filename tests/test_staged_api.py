@@ -1,0 +1,261 @@
+"""Tests for the staged fit/sample API.
+
+Pins the redesign's contract: ``KaminoConfig`` validation and the
+back-compat constructor shim, ``fit()`` + ``FittedKamino.sample()``
+bit-identical to the fused ``fit_sample`` across private / non-private
+/ grouped / FD-lookup / AR configurations, and sample-many semantics
+(any size, any seed, no retraining).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constraints import count_violations
+from repro.core import FittedKamino, Kamino, KaminoConfig
+from repro.core.kamino import KaminoResult
+from repro.datasets import load
+
+
+def _cap(params):
+    params.iterations = min(params.iterations, 10)
+    params.embed_dim = 6
+
+
+def _assert_tables_equal(a, b):
+    assert a.relation.names == b.relation.names
+    for name in a.relation.names:
+        np.testing.assert_array_equal(a.column(name), b.column(name),
+                                      err_msg=name)
+
+
+# ----------------------------------------------------------------------
+# KaminoConfig
+# ----------------------------------------------------------------------
+def test_config_is_frozen():
+    cfg = KaminoConfig(epsilon=1.0)
+    with pytest.raises(AttributeError):
+        cfg.epsilon = 2.0
+
+
+def test_config_defaults_match_paper():
+    cfg = KaminoConfig(epsilon=1.0)
+    assert cfg.delta == 1e-6
+    assert cfg.large_domain_threshold == 1000
+    assert cfg.group_max_domain is None
+    assert cfg.use_violation_index and not cfg.use_fd_lookup
+    assert cfg.constraint_aware_sampling
+    assert cfg.weight_estimator == "matrix"
+    assert cfg.private
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="epsilon"):
+        KaminoConfig(epsilon=0.0)
+    with pytest.raises(ValueError, match="epsilon"):
+        KaminoConfig(epsilon=-1.0)
+    with pytest.raises(ValueError, match="delta"):
+        KaminoConfig(epsilon=1.0, delta=0.0)
+    with pytest.raises(ValueError, match="delta"):
+        KaminoConfig(epsilon=1.0, delta=1.5)
+    with pytest.raises(ValueError, match="group_max_domain"):
+        KaminoConfig(epsilon=1.0, group_max_domain=1)
+    with pytest.raises(ValueError, match="large_domain_threshold"):
+        KaminoConfig(epsilon=1.0, large_domain_threshold=0)
+    with pytest.raises(ValueError, match="weight_estimator"):
+        KaminoConfig(epsilon=1.0, weight_estimator="bogus")
+    with pytest.raises(ValueError, match="params_override"):
+        KaminoConfig(epsilon=1.0, params_override="not callable")
+
+
+def test_config_infinite_epsilon_is_non_private():
+    cfg = KaminoConfig(epsilon=math.inf)
+    assert not cfg.private
+
+
+def test_config_replace_revalidates():
+    cfg = KaminoConfig(epsilon=1.0)
+    assert cfg.replace(seed=5).seed == 5
+    assert cfg.replace(seed=5) is not cfg
+    with pytest.raises(ValueError):
+        cfg.replace(epsilon=-3.0)
+
+
+# ----------------------------------------------------------------------
+# Kamino constructor shim
+# ----------------------------------------------------------------------
+def test_kamino_accepts_config_object():
+    ds = load("tpch", n=20, seed=0)
+    cfg = KaminoConfig(epsilon=1.0, seed=3, use_fd_lookup=True)
+    kam = Kamino(ds.relation, ds.dcs, config=cfg)
+    assert kam.config is cfg
+    assert kam.seed == 3 and kam.use_fd_lookup
+
+
+def test_kamino_kwargs_shim_builds_config():
+    ds = load("tpch", n=20, seed=0)
+    kam = Kamino(ds.relation, ds.dcs, 1.0, seed=3, use_fd_lookup=True)
+    assert kam.config == KaminoConfig(epsilon=1.0, seed=3,
+                                      use_fd_lookup=True)
+
+
+def test_kamino_rejects_epsilon_and_config_together():
+    ds = load("tpch", n=20, seed=0)
+    cfg = KaminoConfig(epsilon=1.0)
+    with pytest.raises(TypeError, match="config"):
+        Kamino(ds.relation, ds.dcs, 1.0, config=cfg)
+    with pytest.raises(TypeError, match="epsilon"):
+        Kamino(ds.relation, ds.dcs)
+
+
+def test_kamino_rejects_knobs_alongside_config():
+    """No knob is silently dropped when config= is given."""
+    ds = load("tpch", n=20, seed=0)
+    cfg = KaminoConfig(epsilon=1.0)
+    with pytest.raises(TypeError, match="seed"):
+        Kamino(ds.relation, ds.dcs, config=cfg, seed=5)
+    with pytest.raises(TypeError, match="use_fd_lookup"):
+        Kamino(ds.relation, ds.dcs, config=cfg, use_fd_lookup=True)
+
+
+def test_kamino_attribute_writes_rederive_config():
+    ds = load("tpch", n=20, seed=0)
+    kam = Kamino(ds.relation, ds.dcs, 1.0)
+    kam.use_fd_lookup = True
+    kam.params_override = _cap
+    assert kam.config.use_fd_lookup
+    assert kam.config.params_override is _cap
+    with pytest.raises(ValueError):
+        kam.epsilon = -1.0  # writes revalidate
+
+
+# ----------------------------------------------------------------------
+# fit_sample == fit().sample() equivalence
+# ----------------------------------------------------------------------
+def _fused_vs_staged(kamino_a, kamino_b, table, **kw):
+    fused = kamino_a.fit_sample(table, **kw)
+    staged = kamino_b.fit(table).sample(kw.get("n"))
+    _assert_tables_equal(fused.table, staged.table)
+    assert fused.sequence == staged.sequence
+    assert fused.weights == staged.weights
+    return fused, staged
+
+
+def test_fused_equals_staged_private():
+    ds = load("tpch", n=100, seed=0)
+    make = lambda: Kamino(ds.relation, ds.dcs, 1.0, seed=0,  # noqa: E731
+                          params_override=_cap)
+    _fused_vs_staged(make(), make(), ds.table)
+
+
+def test_fused_equals_staged_non_private():
+    ds = load("tpch", n=100, seed=0)
+    make = lambda: Kamino(ds.relation, ds.dcs, math.inf,  # noqa: E731
+                          seed=1, params_override=_cap)
+    _fused_vs_staged(make(), make(), ds.table, n=60)
+
+
+def test_fused_equals_staged_fd_lookup():
+    ds = load("tpch", n=100, seed=0)
+    make = lambda: Kamino(ds.relation, ds.dcs, 1.0, seed=2,  # noqa: E731
+                          use_fd_lookup=True, params_override=_cap)
+    _fused_vs_staged(make(), make(), ds.table)
+
+
+def test_fused_equals_staged_grouped():
+    ds = load("br2000", n=80, seed=0)
+    make = lambda: Kamino(ds.relation, ds.dcs, 1.0, seed=0,  # noqa: E731
+                          group_max_domain=128, params_override=_cap)
+    fused, staged = _fused_vs_staged(make(), make(), ds.table)
+    assert any("+" in w for w in fused.model.sequence)
+
+
+def test_fused_equals_staged_ar():
+    ds = load("tpch", n=100, seed=0)
+    make = lambda: Kamino(ds.relation, ds.dcs, 1.0, seed=3,  # noqa: E731
+                          params_override=_cap)
+    fused = make().fit_sample_ar(ds.table, max_tries=40)
+    staged = make().fit(ds.table).sample_ar(max_tries=40)
+    _assert_tables_equal(fused.table, staged.table)
+
+
+def test_fused_equals_staged_known_weights():
+    ds = load("adult", n=120, seed=0)
+    weights = {dc.name: 4.0 for dc in ds.dcs if not dc.hard}
+    make = lambda: Kamino(ds.relation, ds.dcs, 1.0, seed=4,  # noqa: E731
+                          params_override=_cap)
+    fused = make().fit_sample(ds.table, n=50, weights=weights)
+    staged = make().fit(ds.table, weights=weights).sample(50)
+    _assert_tables_equal(fused.table, staged.table)
+
+
+# ----------------------------------------------------------------------
+# FittedKamino sampling semantics
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fitted_tpch():
+    ds = load("tpch", n=100, seed=0)
+    cfg = KaminoConfig(epsilon=1.0, seed=0, params_override=_cap)
+    return ds, Kamino(ds.relation, ds.dcs, config=cfg).fit(ds.table)
+
+
+def test_default_draws_are_repeatable(fitted_tpch):
+    _, fitted = fitted_tpch
+    _assert_tables_equal(fitted.sample().table, fitted.sample().table)
+
+
+def test_seeded_draws_differ_and_are_deterministic(fitted_tpch):
+    ds, fitted = fitted_tpch
+    a = fitted.sample(seed=1).table
+    b = fitted.sample(seed=2).table
+    assert any(not np.array_equal(a.column(c), b.column(c))
+               for c in ds.relation.names)
+    _assert_tables_equal(a, fitted.sample(seed=1).table)
+
+
+def test_sample_many_sizes_without_refit(fitted_tpch):
+    ds, fitted = fitted_tpch
+    for n, seed in ((30, 7), (150, 8)):
+        result = fitted.sample(n=n, seed=seed)
+        assert result.table.n == n
+        for attr in ds.relation:
+            assert attr.domain.validate_column(result.table.column(attr.name))
+        for dc in ds.dcs:
+            assert count_violations(dc, result.table) == 0
+
+
+def test_sample_result_carries_fit_context(fitted_tpch):
+    _, fitted = fitted_tpch
+    result = fitted.sample(n=20, seed=0)
+    assert isinstance(result, KaminoResult)
+    assert result.model is fitted.model
+    assert result.hyper is fitted.hyper
+    assert result.sequence == fitted.sequence
+    assert set(result.timings) == {"Seq.", "Tra.", "DC.W.", "Sam."}
+    # Draws must not mutate the stored fit timings.
+    assert "Sam." not in fitted.fit_timings
+
+
+def test_fit_does_not_sample(fitted_tpch):
+    _, fitted = fitted_tpch
+    assert "Sam." not in fitted.fit_timings
+    assert fitted.sampling_state is not None
+    assert fitted.default_n == 100
+
+
+def test_sample_ar_produces_valid_rows(fitted_tpch):
+    ds, fitted = fitted_tpch
+    result = fitted.sample_ar(n=40, seed=11, max_tries=40)
+    assert result.table.n == 40
+    for attr in ds.relation:
+        assert attr.domain.validate_column(result.table.column(attr.name))
+
+
+def test_constraint_ablation_respected():
+    ds = load("tpch", n=60, seed=0)
+    cfg = KaminoConfig(epsilon=1.0, seed=0, params_override=_cap,
+                       constraint_aware_sampling=False)
+    fitted = Kamino(ds.relation, ds.dcs, config=cfg).fit(ds.table)
+    # The ablation draws i.i.d. tuples; just check it runs and sizes.
+    assert fitted.sample(n=25, seed=0).table.n == 25
