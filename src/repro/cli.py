@@ -156,8 +156,11 @@ def _config_from_args(args) -> KaminoConfig:
 
         def params_override(params, cap=cap):
             params.iterations = min(params.iterations, cap)
+    extra = {}
+    if getattr(args, "engine", None) is not None:
+        extra["engine"] = args.engine
     return KaminoConfig(epsilon=epsilon, delta=args.delta, seed=args.seed,
-                        params_override=params_override)
+                        params_override=params_override, **extra)
 
 
 def _record_ledger(args, label: str, private: bool, params) -> None:
@@ -209,26 +212,40 @@ def cmd_sample(args) -> int:
     relation = load_relation(args.schema)
     dcs = load_dcs(args.dcs, relation=relation) if args.dcs else []
     fitted = FittedKamino.load(args.model, relation, dcs)
+    resolved = args.engine or fitted.config.engine
+    if args.workers != 1 and resolved == "row":
+        print("error: --workers requires the blocked engine (this draw "
+              f"resolves to engine={resolved!r}; pass --engine blocked "
+              "or drop --workers)", file=sys.stderr)
+        return 2
     missing = sorted(set(fitted.weights) - {dc.name for dc in dcs})
     if missing:
         print(f"warning: model was fitted with DC weights for "
               f"{', '.join(missing)} but they were not supplied via "
               f"--dcs; the draw will not enforce them (and will differ "
               f"from the fit-time draw)", file=sys.stderr)
-    result = fitted.sample(n=args.n, seed=args.seed)
+    result = fitted.sample(n=args.n, seed=args.seed,
+                           workers=args.workers, engine=args.engine)
     save_bundle(args.out, result.table, fitted.dcs)
+    engine = resolved
+    workers = f", workers={args.workers}" if args.workers != 1 else ""
     print(f"wrote synthetic bundle to {args.out} "
           f"(n={result.table.n}, sampling "
-          f"{result.timings['Sam.']:.1f}s, no privacy spend)")
+          f"{result.timings['Sam.']:.1f}s via the {engine} engine"
+          f"{workers}, no privacy spend)")
     return 0
 
 
 def cmd_synthesize(args) -> int:
     bundle = load_bundle(args.bundle)
     config = _config_from_args(args)
+    if args.workers != 1 and config.engine == "row":
+        print("error: --workers requires the blocked engine (drop "
+              "--engine row or --workers)", file=sys.stderr)
+        return 2
     kamino = Kamino(bundle.relation, bundle.dcs, config=config)
     fitted = kamino.fit(bundle.table)
-    result = fitted.sample(n=args.n)
+    result = fitted.sample(n=args.n, workers=args.workers)
     if args.save_model:
         fitted.save(args.save_model)
         print(f"wrote fitted model to {args.save_model} "
@@ -303,6 +320,10 @@ def _add_budget_arguments(p: argparse.ArgumentParser) -> None:
                    help="cap DP-SGD iterations (fast runs)")
     p.add_argument("--ledger", default=None,
                    help="JSON privacy ledger to append this run to")
+    p.add_argument("--engine", choices=("blocked", "row"), default=None,
+                   help="sampling engine (default: blocked — the "
+                        "block-scheduled vectorized engine; 'row' keeps "
+                        "the legacy per-row stream for exact replay)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -359,6 +380,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None,
                    help="draw seed (default: reproduce the fit-time "
                         "draw, given the same --dcs)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="shard the blocked engine's unconstrained "
+                        "column passes over N threads (output is "
+                        "bit-identical for any worker count)")
+    p.add_argument("--engine", choices=("blocked", "row"), default=None,
+                   help="override the engine the model was fitted "
+                        "with for this draw")
     p.set_defaults(fn=cmd_sample)
 
     p = sub.add_parser("synthesize",
@@ -371,6 +399,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-model", default=None, metavar="MODEL",
                    help="also persist the fitted model for later "
                         "'sample' runs")
+    p.add_argument("--workers", type=int, default=1,
+                   help="thread workers for the blocked engine's "
+                        "sampling pass")
     _add_budget_arguments(p)
     p.set_defaults(fn=cmd_synthesize)
 

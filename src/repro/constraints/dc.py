@@ -52,6 +52,15 @@ class DenialConstraint:
         if vars_used - {TUPLE_I, TUPLE_J}:
             raise ValueError(f"unsupported tuple variables: {vars_used}")
         self._vars = vars_used
+        # DCs are immutable after construction; the structural queries
+        # below sit on sampler hot paths, so compute them once.
+        self._is_unary = (vars_used <= {TUPLE_I} or vars_used <= {TUPLE_J})
+        attrs: set[str] = set()
+        for p in predicates:
+            attrs |= p.attributes
+        self._attributes = frozenset(attrs)
+        self._fd_shape = self._compute_fd()
+        self._order_shape = self._compute_conditional_order()
 
     # ------------------------------------------------------------------
     # Structure
@@ -59,19 +68,16 @@ class DenialConstraint:
     @property
     def is_unary(self) -> bool:
         """True if only one tuple variable appears (single-tuple DC)."""
-        return self._vars <= {TUPLE_I} or self._vars <= {TUPLE_J}
+        return self._is_unary
 
     @property
     def is_binary(self) -> bool:
         return not self.is_unary
 
     @property
-    def attributes(self) -> set[str]:
+    def attributes(self) -> frozenset[str]:
         """The participating attribute set ``A_phi``."""
-        out: set[str] = set()
-        for p in self.predicates:
-            out |= p.attributes
-        return out
+        return self._attributes
 
     def bind(self, relation) -> "DenialConstraint":
         """Encode constant predicates against a schema (see Predicate.bind)."""
@@ -100,6 +106,9 @@ class DenialConstraint:
         ``not(t_i.X = t_j.X and t_i.y != t_j.y)`` is ``X -> y``.
         Returns None if the DC is not FD-shaped.
         """
+        return self._fd_shape
+
+    def _compute_fd(self):
         if self.is_unary:
             return None
         lhs, rhs = [], []
@@ -133,6 +142,9 @@ class DenialConstraint:
         values of one order attribute given the other form a closed
         interval whose endpoints are themselves feasible.
         """
+        return self._order_shape
+
+    def _compute_conditional_order(self):
         if self.is_unary:
             return None
         eq_attrs: list[str] = []

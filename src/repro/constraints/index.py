@@ -117,6 +117,33 @@ class ViolationIndex:
         """
         return None
 
+    def probe_many(self, target_values, contexts) -> np.ndarray | None:
+        """Batched :meth:`candidate_counts` over a block of rows.
+
+        ``target_values`` is either a single dict shared by every row
+        (the categorical full-domain case) or a sequence of per-row
+        dicts; ``contexts`` is a sequence of per-row context dicts.  All
+        rows must probe the same candidate count ``d``.  Returns a
+        ``(len(contexts), d)`` count matrix, or None as soon as any row
+        cannot be answered exactly (the caller falls back to the scan
+        engine for the whole block).
+
+        The base implementation loops; shape-specific subclasses
+        vectorize the hot layouts (see
+        :meth:`FDViolationIndex.probe_block_codes`).
+        """
+        shared = isinstance(target_values, dict)
+        out = []
+        for r, context in enumerate(contexts):
+            tv = target_values if shared else target_values[r]
+            counts = self.candidate_counts(tv, context)
+            if counts is None:
+                return None
+            out.append(counts)
+        if not out:
+            return np.zeros((0, 0), dtype=np.int64)
+        return np.vstack(out)
+
     # -- internals -----------------------------------------------------
     def _add_row(self, row: dict) -> None:
         raise NotImplementedError
@@ -155,6 +182,14 @@ class FDViolationIndex(ViolationIndex):
         self._groups: dict[tuple, list] = {}
         self._total = 0
         self._n = 0
+        # Det-major cache for single-attribute integer determinants:
+        # sizes[code] = group size, by_dep[dep][code] = count(code, dep).
+        # Activated lazily on the first determinant-target probe (the
+        # sampler filling a determinant column after the dependent) and
+        # maintained incrementally; answers a full-domain candidate
+        # probe as two O(V) vector ops instead of V dict lookups.
+        self._det_sizes: np.ndarray | None = None
+        self._det_by_dep: dict | None = None
 
     def _key(self, row: dict) -> tuple:
         return tuple(_item(row[a]) for a in self.determinant)
@@ -165,9 +200,89 @@ class FDViolationIndex(ViolationIndex):
     def remove_from(self, cols: dict, i: int) -> None:
         self._remove_row({a: cols[a][i] for a in self.dc.attributes})
 
-    def _add_row(self, row: dict) -> None:
-        key = self._key(row)
-        dep = _item(row[self.dependent])
+    # -- det-major cache -----------------------------------------------
+    def _det_cache_update(self, key: tuple, dep, delta: int) -> None:
+        if self._det_sizes is None:
+            return
+        code = key[0]
+        if (not isinstance(code, (int, np.integer))
+                or not 0 <= code < self._det_sizes.shape[0]):
+            self._det_sizes = None
+            self._det_by_dep = None
+            return
+        self._det_sizes[code] += delta
+        per = self._det_by_dep.get(dep)
+        if per is None:
+            per = np.zeros(self._det_sizes.shape[0], dtype=np.int64)
+            self._det_by_dep[dep] = per
+        per[code] += delta
+
+    def _activate_det_cache(self, size: int) -> bool:
+        """Build the det-major arrays over code domain ``0..size-1``."""
+        if len(self.determinant) != 1:
+            return False
+        sizes = np.zeros(size, dtype=np.int64)
+        by_dep: dict = {}
+        for key, (gsize, counts) in self._groups.items():
+            code = key[0]
+            if (not isinstance(code, (int, np.integer))
+                    or not 0 <= code < size):
+                return False
+            sizes[code] = gsize
+            for dep, c in counts.items():
+                per = by_dep.get(dep)
+                if per is None:
+                    per = np.zeros(size, dtype=np.int64)
+                    by_dep[dep] = per
+                per[code] = c
+        self._det_sizes = sizes
+        self._det_by_dep = by_dep
+        return True
+
+    def probe_det_codes(self, dep, size: int,
+                        out: np.ndarray | None = None) -> np.ndarray | None:
+        """Counts for full-domain *determinant* candidates, fixed dep.
+
+        The mirror image of :meth:`probe_block_codes`: the sampler is
+        filling a determinant column after the dependent, so candidate
+        ``c`` joins group ``c`` and creates ``size(c) - count(c, dep)``
+        violations.  O(V) vectorized via the det-major cache; None when
+        the cache cannot represent this index (composite or non-code
+        determinant).  ``out`` receives the counts without allocating.
+        """
+        if self._det_sizes is None or self._det_sizes.shape[0] != size:
+            self._det_sizes = None
+            self._det_by_dep = None
+            if not self._activate_det_cache(size):
+                return None
+        per = self._det_by_dep.get(_item(dep))
+        if out is None:
+            if per is None:
+                return self._det_sizes.copy()
+            return self._det_sizes - per
+        if per is None:
+            out[:] = self._det_sizes
+        else:
+            np.subtract(self._det_sizes, per, out=out)
+        return out
+
+    # -- multiset updates ----------------------------------------------
+    def probe_pair(self, key: tuple, dep) -> int:
+        """New violations if ``(key, dep)`` were appended — the O(1)
+        kernel behind every probe; ``key``/``dep`` are python scalars
+        (as produced by ``.tolist()`` on the column arrays)."""
+        group = self._groups.get(key)
+        if group is None:
+            return 0
+        return group[0] - group[1].get(dep, 0)
+
+    def add_pair(self, key: tuple, dep) -> None:
+        """Append one ``(determinant key, dependent)`` observation.
+
+        The allocation-free core of :meth:`append_from` for callers that
+        already hold python-scalar keys (the blocked engine's fast
+        lane).
+        """
         group = self._groups.get(key)
         if group is None:
             group = [0, {}]
@@ -176,7 +291,11 @@ class FDViolationIndex(ViolationIndex):
         self._total += size - counts.get(dep, 0)
         group[0] = size + 1
         counts[dep] = counts.get(dep, 0) + 1
+        self._det_cache_update(key, dep, 1)
         self._n += 1
+
+    def _add_row(self, row: dict) -> None:
+        self.add_pair(self._key(row), _item(row[self.dependent]))
 
     def _remove_row(self, row: dict) -> None:
         key = self._key(row)
@@ -191,6 +310,7 @@ class FDViolationIndex(ViolationIndex):
             counts[dep] -= 1
         if group[0] == 0:
             del self._groups[key]
+        self._det_cache_update(key, dep, -1)
         self._n -= 1
 
     def total(self) -> int:
@@ -224,6 +344,20 @@ class FDViolationIndex(ViolationIndex):
             return np.fromiter((size - counts.get(v, 0) for v in deps),
                                dtype=np.int64, count=d)
 
+        # Det-target fast path: single-attribute determinant, fixed
+        # dependent, full-code-domain candidates (the sampler filling a
+        # determinant column after its dependent).
+        if (len(self.determinant) == 1 and det_in_targets
+                and self.dependent not in target_values):
+            cands = target_values[self.determinant[0]]
+            if (cands.dtype.kind in "iu"
+                    and np.array_equal(cands, np.arange(
+                        cands.shape[0], dtype=cands.dtype))):
+                counts = self.probe_det_codes(context[self.dependent],
+                                              cands.shape[0])
+                if counts is not None:
+                    return counts
+
         # General path: the determinant key varies per candidate.
         det_cols = [
             (target_values[a].tolist() if a in target_values
@@ -244,6 +378,49 @@ class FDViolationIndex(ViolationIndex):
                 out[c] = size - counts.get(dep_col[c], 0)
         return out
 
+    def probe_block_codes(self, keys: list, size: int) -> np.ndarray:
+        """Vectorized block probe: full-domain categorical dependents.
+
+        ``keys`` holds one (python-scalar) determinant key tuple per
+        block row; candidates are the complete code domain ``0..size-1``
+        for every row.  Row ``r`` of the result is
+        ``group_size(keys[r]) - histogram(keys[r])`` — identical to
+        :meth:`candidate_counts` with ``target_values =
+        {dependent: arange(size)}`` but without the per-candidate dict
+        probes (a group's histogram usually has far fewer distinct
+        dependents than the domain has codes).
+        """
+        out = np.empty((len(keys), size), dtype=np.int64)
+        for r, key in enumerate(keys):
+            group = self._groups.get(key)
+            row = out[r]
+            if group is None:
+                row[:] = 0
+                continue
+            gsize, counts = group
+            row[:] = gsize
+            if counts:
+                idx = np.fromiter(counts.keys(), dtype=np.int64,
+                                  count=len(counts))
+                vals = np.fromiter(counts.values(), dtype=np.int64,
+                                   count=len(counts))
+                row[idx] -= vals
+        return out
+
+    def probe_many(self, target_values, contexts) -> np.ndarray | None:
+        if (isinstance(target_values, dict)
+                and set(target_values) == {self.dependent}):
+            deps = target_values[self.dependent]
+            if (deps.dtype.kind in "iu" and deps.shape[0] > 0
+                    and np.array_equal(
+                        deps, np.arange(deps.shape[0], dtype=deps.dtype))):
+                # Full-domain categorical candidates: one vectorized
+                # histogram subtraction per row.
+                keys = [tuple(_item(ctx[a]) for a in self.determinant)
+                        for ctx in contexts]
+                return self.probe_block_codes(keys, deps.shape[0])
+        return super().probe_many(target_values, contexts)
+
     def dependents_of(self, key_row: dict) -> list:
         """Sorted distinct dependent values already bound to the
         determinant group of ``key_row`` (empty if the group is new)."""
@@ -256,6 +433,141 @@ class FDViolationIndex(ViolationIndex):
 # ----------------------------------------------------------------------
 # Conditional-order DCs
 # ----------------------------------------------------------------------
+#: Group size at which an order group builds its Fenwick tree (smaller
+#: groups answer probes faster with the plain sort-and-search path).
+_FENWICK_MIN_GROUP = 8
+#: Cap on the per-group Fenwick table (cells), keeping memory bounded.
+_MAX_FENWICK_CELLS = 1 << 16
+#: Universes small enough that a dense count grid (O(1) update, pure
+#: vectorized probes) beats BIT walks; larger ones use the Fenwick.
+_DENSE_GRID_CELLS = 1 << 12
+#: Values beyond this magnitude lose exactness as float64 ranks.
+_FENWICK_MAX_ABS = float(2 ** 52)
+
+
+class _Fenwick2D:
+    """2D binary-indexed tree over compressed ``(rank_a, rank_b)`` grids.
+
+    Point ranks are 1-based; :meth:`prefix` returns the number of
+    indexed points with ``rank_a <= ra and rank_b <= rb`` in
+    O(log ga * log gb).  The multi-candidate variants answer a whole
+    candidate vector against one fixed partner rank with the inner BIT
+    decomposition shared across candidates, so ``d`` probes cost
+    O((ga + d) log gb) instead of ``d`` independent tree walks.
+    """
+
+    __slots__ = ("ga", "gb", "tree")
+
+    def __init__(self, ga: int, gb: int):
+        self.ga = ga
+        self.gb = gb
+        self.tree = np.zeros((ga + 1, gb + 1), dtype=np.int64)
+
+    def update(self, ra: int, rb: int, delta: int) -> None:
+        i = ra
+        while i <= self.ga:
+            row = self.tree[i]
+            j = rb
+            while j <= self.gb:
+                row[j] += delta
+                j += j & (-j)
+            i += i & (-i)
+
+    @staticmethod
+    def _path(rank: int) -> list[int]:
+        out = []
+        while rank > 0:
+            out.append(rank)
+            rank -= rank & (-rank)
+        return out
+
+    def prefix(self, ra: int, rb: int) -> int:
+        total = 0
+        for i in self._path(ra):
+            row = self.tree[i]
+            for j in self._path(rb):
+                total += row[j]
+        return int(total)
+
+    def _rank_scan(self, marginal: np.ndarray,
+                   ranks: np.ndarray) -> np.ndarray:
+        """Prefix sums of a 1D BIT marginal at each requested rank.
+
+        For dense rank sets (the common probe shape: every candidate
+        rank, or the whole universe) the full prefix vector is rebuilt
+        with the ``prefix[r] = prefix[r - lowbit(r)] + marginal[r]``
+        recurrence — one tiny O(size) loop — and indexed; sparse rank
+        sets walk their BIT paths vectorized instead.
+        """
+        size = marginal.shape[0] - 1
+        if size <= 512 or ranks.shape[0] * 8 >= size:
+            m = marginal.tolist()
+            prefix = [0] * (size + 1)
+            for r in range(1, size + 1):
+                prefix[r] = prefix[r - (r & -r)] + m[r]
+            return np.asarray(prefix, dtype=np.int64)[ranks]
+        ans = np.zeros(ranks.shape[0], dtype=np.int64)
+        rank = ranks.astype(np.int64, copy=True)
+        while True:
+            live = np.flatnonzero(rank)
+            if live.size == 0:
+                return ans
+            ans[live] += marginal[rank[live]]
+            rank[live] -= rank[live] & (-rank[live])
+
+    def prefix_a_many(self, ras: np.ndarray, rb: int) -> np.ndarray:
+        """``prefix(ra, rb)`` for a vector of a-ranks, fixed ``rb``."""
+        cols = self._path(rb)
+        if not cols:
+            return np.zeros(ras.shape[0], dtype=np.int64)
+        return self._rank_scan(self.tree[:, cols].sum(axis=1), ras)
+
+    def prefix_b_many(self, ra: int, rbs: np.ndarray) -> np.ndarray:
+        """``prefix(ra, rb)`` for a vector of b-ranks, fixed ``ra``."""
+        rows = self._path(ra)
+        if not rows:
+            return np.zeros(rbs.shape[0], dtype=np.int64)
+        return self._rank_scan(self.tree[rows, :].sum(axis=0), rbs)
+
+
+class _DenseGrid:
+    """Dense (rank_a, rank_b) count grid — the small-universe sibling of
+    :class:`_Fenwick2D`.
+
+    For tiny compressed universes (quantized snap grids are typically
+    16-32 values a side) a dense int matrix answers the same dominance
+    queries with a couple of fused-slice sums and O(1) point updates,
+    with far smaller constants than BIT path walks.  The update/query
+    API mirrors :class:`_Fenwick2D` (1-based point ranks) so
+    :class:`OrderViolationIndex` treats the two interchangeably.
+    """
+
+    __slots__ = ("ga", "gb", "grid")
+
+    def __init__(self, ga: int, gb: int):
+        self.ga = ga
+        self.gb = gb
+        self.grid = np.zeros((ga, gb), dtype=np.int64)
+
+    def update(self, ra: int, rb: int, delta: int) -> None:
+        self.grid[ra - 1, rb - 1] += delta
+
+    def prefix(self, ra: int, rb: int) -> int:
+        return int(self.grid[:ra, :rb].sum())
+
+    def prefix_a_many(self, ras: np.ndarray, rb: int) -> np.ndarray:
+        per_a = self.grid[:, :rb].sum(axis=1)
+        cum = np.zeros(self.ga + 1, dtype=np.int64)
+        np.cumsum(per_a, out=cum[1:])
+        return cum[ras]
+
+    def prefix_b_many(self, ra: int, rbs: np.ndarray) -> np.ndarray:
+        per_b = self.grid[:ra, :].sum(axis=0)
+        cum = np.zeros(self.gb + 1, dtype=np.int64)
+        np.cumsum(per_b, out=cum[1:])
+        return cum[rbs]
+
+
 class _OrderGroup:
     """The (A, B) points of one equality group.
 
@@ -263,14 +575,24 @@ class _OrderGroup:
     amortised and :meth:`arrays` is a zero-copy view — an eq-less order
     DC has a single group covering the whole prefix, and rebuilding its
     arrays per probe would be quadratic.
+
+    When the owning index was given value universes
+    (:meth:`OrderViolationIndex.provide_universe`), a group that grows
+    past ``_FENWICK_MIN_GROUP`` additionally maintains a
+    :class:`_Fenwick2D` over the compressed (A, B) ranks, turning each
+    probe from an O(group log group) sort into O(log group) tree walks.
+    A value outside the universe permanently reverts the group to the
+    scan path (``off_universe``) — counts stay exact either way.
     """
 
-    __slots__ = ("_a", "_b", "_n")
+    __slots__ = ("_a", "_b", "_n", "fen", "off_universe")
 
     def __init__(self):
         self._a = None
         self._b = None
         self._n = 0
+        self.fen = None
+        self.off_universe = False
 
     def arrays(self):
         if self._a is None:
@@ -335,6 +657,8 @@ class OrderViolationIndex(ViolationIndex):
         if shape is None:
             raise ValueError(f"DC {dc.name} is not conditional-order-shaped")
         self.eq_attrs, self.greater_attr, self.less_attr = shape
+        self._uni_a: np.ndarray | None = None
+        self._uni_b: np.ndarray | None = None
         self.reset()
 
     def reset(self) -> None:
@@ -342,11 +666,99 @@ class OrderViolationIndex(ViolationIndex):
         self._total = 0
         self._n = 0
 
+    def provide_universe(self, greater_values, less_values) -> bool:
+        """Enable Fenwick-backed groups over compressed value grids.
+
+        ``greater_values`` / ``less_values`` enumerate the values the
+        two order attributes can take (e.g. the sampler's snap grids or
+        a categorical code range).  When both universes are small enough
+        (``_MAX_FENWICK_CELLS``) and exactly representable as float64
+        ranks, groups past ``_FENWICK_MIN_GROUP`` points switch their
+        probes from the O(group log group) sort path to O(log group)
+        BIT walks.  Values outside the universe only revert the
+        affected group to the scan path — counts stay bit-identical in
+        every configuration.  Returns whether the universes were
+        accepted.
+        """
+        if greater_values is None or less_values is None:
+            return False
+        uni_a = np.unique(np.asarray(greater_values, dtype=np.float64))
+        uni_b = np.unique(np.asarray(less_values, dtype=np.float64))
+        if uni_a.size == 0 or uni_b.size == 0:
+            return False
+        if (uni_a.size + 1) * (uni_b.size + 1) > _MAX_FENWICK_CELLS:
+            return False
+        if (np.abs(uni_a) > _FENWICK_MAX_ABS).any() \
+                or (np.abs(uni_b) > _FENWICK_MAX_ABS).any():
+            return False
+        self._uni_a, self._uni_b = uni_a, uni_b
+        for group in self._groups.values():
+            self._build_fenwick(group)
+        return True
+
     def _key(self, row: dict) -> tuple:
         return tuple(_item(row[a]) for a in self.eq_attrs)
 
+    # -- Fenwick bookkeeping -------------------------------------------
+    def _rank_of(self, uni: np.ndarray, value) -> int | None:
+        """1-based universe rank of ``value``, or None if absent."""
+        pos = int(np.searchsorted(uni, value, side="left"))
+        if pos < uni.size and uni[pos] == value:
+            return pos + 1
+        return None
+
+    def _build_fenwick(self, group: _OrderGroup) -> None:
+        if (self._uni_a is None or group.off_universe
+                or len(group) < _FENWICK_MIN_GROUP):
+            return
+        cls = (_DenseGrid
+               if self._uni_a.size * self._uni_b.size <= _DENSE_GRID_CELLS
+               else _Fenwick2D)
+        fen = cls(self._uni_a.size, self._uni_b.size)
+        a_arr, b_arr = group.arrays()
+        for a, b in zip(a_arr.tolist(), b_arr.tolist()):
+            ra = self._rank_of(self._uni_a, a)
+            rb = self._rank_of(self._uni_b, b)
+            if ra is None or rb is None:
+                group.off_universe = True
+                group.fen = None
+                return
+            fen.update(ra, rb, 1)
+        group.fen = fen
+
+    def _fenwick_update(self, group: _OrderGroup, a, b, delta: int) -> None:
+        if self._uni_a is None or group.off_universe:
+            return
+        if group.fen is None:
+            if delta > 0:
+                self._build_fenwick(group)
+            return
+        ra = self._rank_of(self._uni_a, a)
+        rb = self._rank_of(self._uni_b, b)
+        if ra is None or rb is None:
+            # Off-universe point: the tree can no longer answer probes
+            # for this group; fall back to the scan path permanently.
+            group.off_universe = True
+            group.fen = None
+            return
+        group.fen.update(ra, rb, delta)
+
     def _discordant(self, group: _OrderGroup, a, b) -> int:
         """Strictly discordant pairs between (a, b) and the group."""
+        fen = group.fen
+        if fen is not None:
+            uni_a, uni_b = self._uni_a, self._uni_b
+            ra_lt = int(np.searchsorted(uni_a, a, side="left"))
+            ra_le = int(np.searchsorted(uni_a, a, side="right"))
+            rb_lt = int(np.searchsorted(uni_b, b, side="left"))
+            rb_le = int(np.searchsorted(uni_b, b, side="right"))
+            if isinstance(fen, _DenseGrid):
+                m = fen.grid
+                return int(m[:ra_lt, rb_le:].sum()
+                           + m[ra_le:, :rb_lt].sum())
+            lo = fen.prefix(ra_lt, fen.gb) - fen.prefix(ra_lt, rb_le)
+            hi = fen.prefix(fen.ga, rb_lt) - fen.prefix(ra_le, rb_lt)
+            return lo + hi
         a_arr, b_arr = group.arrays()
         lo = int(np.count_nonzero((a_arr < a) & (b_arr > b)))
         hi = int(np.count_nonzero((a_arr > a) & (b_arr < b)))
@@ -368,6 +780,7 @@ class OrderViolationIndex(ViolationIndex):
         b = _item(row[self.less_attr])
         self._total += self._discordant(group, a, b)
         group.add(a, b)
+        self._fenwick_update(group, a, b, 1)
         self._n += 1
 
     def _remove_row(self, row: dict) -> None:
@@ -376,6 +789,7 @@ class OrderViolationIndex(ViolationIndex):
         a = _item(row[self.greater_attr])
         b = _item(row[self.less_attr])
         group.remove(a, b)
+        self._fenwick_update(group, a, b, -1)
         self._total -= self._discordant(group, a, b)
         if not len(group):
             del self._groups[key]
@@ -408,6 +822,10 @@ class OrderViolationIndex(ViolationIndex):
         group = self._groups.get(self._key(row))
         if group is None:
             return np.zeros(d, dtype=np.int64)
+        if group.fen is not None:
+            partner = context[self.less_attr if target == self.greater_attr
+                              else self.greater_attr]
+            return self._fenwick_counts(group.fen, target, cands, partner)
         a_arr, b_arr = group.arrays()
 
         if target == self.greater_attr:
@@ -427,6 +845,57 @@ class OrderViolationIndex(ViolationIndex):
                            - np.searchsorted(above_t, cands, side="right"))
         return counts.astype(np.int64)
 
+    def _fenwick_counts(self, fen: _Fenwick2D, target: str,
+                        cands: np.ndarray, partner) -> np.ndarray:
+        """O(log group) per-candidate discordance via the group's BIT.
+
+        Mirrors the sort-based probe exactly: candidates and the partner
+        value are located in the universes with binary search (arbitrary
+        probe values are fine — only *indexed* points must lie on the
+        universe), and the four strict dominance counts combine into the
+        discordant-pair totals.
+        """
+        uni_a, uni_b = self._uni_a, self._uni_b
+        c = np.asarray(cands, dtype=np.float64)
+        dense = fen.grid if isinstance(fen, _DenseGrid) else None
+        if target == self.greater_attr:
+            ra_lt = np.searchsorted(uni_a, c, side="left")
+            ra_le = np.searchsorted(uni_a, c, side="right")
+            rb_lt = int(np.searchsorted(uni_b, partner, side="left"))
+            rb_le = int(np.searchsorted(uni_b, partner, side="right"))
+            if dense is not None:
+                # #(a<c & b>p) via a cumsum over "b above" per a-rank,
+                # #(a>c & b<p) via the suffix of "b below" per a-rank.
+                hi_per_a = dense[:, rb_le:].sum(axis=1)
+                lo_per_a = dense[:, :rb_lt].sum(axis=1)
+                cum_hi = np.zeros(fen.ga + 1, dtype=np.int64)
+                np.cumsum(hi_per_a, out=cum_hi[1:])
+                cum_lo = np.zeros(fen.ga + 1, dtype=np.int64)
+                np.cumsum(lo_per_a, out=cum_lo[1:])
+                return cum_hi[ra_lt] + (cum_lo[fen.ga] - cum_lo[ra_le])
+            below = (fen.prefix_a_many(ra_lt, fen.gb)
+                     - fen.prefix_a_many(ra_lt, rb_le))
+            above = (fen.prefix(fen.ga, rb_lt)
+                     - fen.prefix_a_many(ra_le, rb_lt))
+        else:
+            rb_lt = np.searchsorted(uni_b, c, side="left")
+            rb_le = np.searchsorted(uni_b, c, side="right")
+            ra_lt = int(np.searchsorted(uni_a, partner, side="left"))
+            ra_le = int(np.searchsorted(uni_a, partner, side="right"))
+            if dense is not None:
+                hi_per_b = dense[ra_le:, :].sum(axis=0)
+                lo_per_b = dense[:ra_lt, :].sum(axis=0)
+                cum_hi = np.zeros(fen.gb + 1, dtype=np.int64)
+                np.cumsum(hi_per_b, out=cum_hi[1:])
+                cum_lo = np.zeros(fen.gb + 1, dtype=np.int64)
+                np.cumsum(lo_per_b, out=cum_lo[1:])
+                return cum_hi[rb_lt] + (cum_lo[fen.gb] - cum_lo[rb_le])
+            below = (fen.prefix_b_many(fen.ga, rb_lt)
+                     - fen.prefix_b_many(ra_le, rb_lt))
+            above = (fen.prefix(ra_lt, fen.gb)
+                     - fen.prefix_b_many(ra_lt, rb_le))
+        return (below + above).astype(np.int64)
+
     def group_points(self, key_row: dict):
         """The indexed (A, B) point arrays of ``key_row``'s equality
         group, or None if the group is empty (views — do not mutate)."""
@@ -434,6 +903,78 @@ class OrderViolationIndex(ViolationIndex):
         if group is None:
             return None
         return group.arrays()
+
+    def group_profile(self, key_row: dict, target: str, partner_value,
+                      limit: int):
+        """Hard-DC candidate hints for ``target`` given a fixed partner.
+
+        Returns ``(matching, below_max, above_min)`` where ``matching``
+        is the first ``limit`` sorted distinct target values of group
+        rows whose partner equals ``partner_value`` (always violation-
+        free against those rows), and ``below_max`` / ``above_min`` are
+        the feasible-interval endpoints over rows with partner strictly
+        below / above (None when the half is empty).  Exact mirror of
+        the prefix scans in the sampler's ``_consistent_values`` /
+        ``_order_interval``; returns None when the group has no Fenwick
+        (the caller scans the group arrays instead).
+        """
+        group = self._groups.get(self._key(key_row))
+        if group is None:
+            return [], None, None
+        fen = group.fen
+        if fen is None:
+            return None
+        if isinstance(fen, _DenseGrid):
+            if target == self.greater_attr:
+                uni = self._uni_a
+                rb_lt = int(np.searchsorted(self._uni_b, partner_value,
+                                            "left"))
+                rb_le = int(np.searchsorted(self._uni_b, partner_value,
+                                            "right"))
+                eq_counts = fen.grid[:, rb_lt:rb_le].sum(axis=1)
+                below_counts = fen.grid[:, :rb_lt].sum(axis=1)
+                above_counts = fen.grid[:, rb_le:].sum(axis=1)
+            else:
+                uni = self._uni_b
+                ra_lt = int(np.searchsorted(self._uni_a, partner_value,
+                                            "left"))
+                ra_le = int(np.searchsorted(self._uni_a, partner_value,
+                                            "right"))
+                eq_counts = fen.grid[ra_lt:ra_le, :].sum(axis=0)
+                below_counts = fen.grid[:ra_lt, :].sum(axis=0)
+                above_counts = fen.grid[ra_le:, :].sum(axis=0)
+            matching = uni[np.flatnonzero(eq_counts)[:limit]].tolist()
+            below = np.flatnonzero(below_counts)
+            above = np.flatnonzero(above_counts)
+            below_max = float(uni[below[-1]]) if below.size else None
+            above_min = float(uni[above[0]]) if above.size else None
+            return matching, below_max, above_min
+        if target == self.greater_attr:
+            uni, size = self._uni_a, fen.ga
+            rb_lt = int(np.searchsorted(self._uni_b, partner_value, "left"))
+            rb_le = int(np.searchsorted(self._uni_b, partner_value, "right"))
+            ranks = np.arange(1, size + 1)
+            le = fen.prefix_a_many(ranks, rb_le)
+            lt = fen.prefix_a_many(ranks, rb_lt)
+            full = fen.prefix_a_many(ranks, fen.gb)
+        else:
+            uni, size = self._uni_b, fen.gb
+            ra_lt = int(np.searchsorted(self._uni_a, partner_value, "left"))
+            ra_le = int(np.searchsorted(self._uni_a, partner_value, "right"))
+            ranks = np.arange(1, size + 1)
+            le = fen.prefix_b_many(ra_le, ranks)
+            lt = fen.prefix_b_many(ra_lt, ranks)
+            full = fen.prefix_b_many(fen.ga, ranks)
+        zero = np.zeros(1, dtype=np.int64)
+        eq_counts = np.diff(np.concatenate([zero, le - lt]))
+        below_counts = np.diff(np.concatenate([zero, lt]))
+        above_counts = np.diff(np.concatenate([zero, full - le]))
+        matching = uni[np.flatnonzero(eq_counts > 0)[:limit]].tolist()
+        below = np.flatnonzero(below_counts > 0)
+        above = np.flatnonzero(above_counts > 0)
+        below_max = float(uni[below[-1]]) if below.size else None
+        above_min = float(uni[above[0]]) if above.size else None
+        return matching, below_max, above_min
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,10 @@
   sampling), the constrained MCMC refinement, the accept-reject
   alternative (Experiment 6), and the hard-FD lookup fast path
   (Experiment 10);
+* :mod:`repro.core.engine` — the block-scheduled vectorized sampling
+  engine (``KaminoConfig.engine = "blocked"``, the default): conflict-
+  aware batching over the violation-index group keys, counter-based
+  per-cell rng, and sharded parallel draws (``sample(..., workers=k)``);
 * :mod:`repro.core.kamino` — Algorithm 1 (end-to-end orchestration),
   staged as ``KaminoConfig`` -> ``Kamino.fit`` -> ``FittedKamino``
   (train once, sample/persist many);
@@ -21,6 +25,7 @@ from repro.core.params import KaminoParams, search_dp_params
 from repro.core.training import ProbModel, train_model
 from repro.core.weights import learn_dc_weights
 from repro.core.sampling import ar_sample, synthesize
+from repro.core.engine import synthesize_engine
 from repro.core.kamino import (
     FittedKamino, Kamino, KaminoConfig, KaminoResult,
 )
@@ -43,6 +48,7 @@ __all__ = [
     "search_dp_params",
     "sequence_attributes",
     "synthesize",
+    "synthesize_engine",
     "train_model",
     "UpdateDecision",
 ]

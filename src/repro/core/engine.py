@@ -1,0 +1,925 @@
+"""Block-scheduled vectorized sampling engine (``engine="blocked"``).
+
+Algorithm 3 is sequential by definition: every cell's violation penalty
+is counted against the prefix of already-sampled rows.  The row engine
+(:mod:`repro.core.sampling`) therefore runs a Python loop per
+constrained cell, and at production ``n`` the sampler is bounded by
+interpreter overhead, not by the index math.  This module restructures
+the same computation around two observations:
+
+1.  **Conflict-free blocks.**  Within one column pass, a row's penalty
+    only depends on prefix rows in the *same* constraint group (an FD's
+    determinant group, an order DC's equality group) — groups whose
+    keys are fully determined by earlier columns.  Consecutive rows
+    whose group keys are pairwise disjoint cannot influence each
+    other's penalties, so an entire block can be scored and drawn in
+    one shot: batched candidate matrices, batched index probes
+    (``probe_many`` / ``probe_block_codes`` on the violation indexes),
+    and a single gumbel-argmax per block.  Columns where a group key
+    cannot be determined up front (the target feeds a determinant, an
+    eq-less order DC, a generic binary DC) degrade to singleton blocks
+    — exactly the sequential semantics, minus the per-row rng calls.
+
+2.  **Counter-based per-cell noise.**  All randomness comes from
+    :class:`numpy.random.Philox` streams keyed by ``(seed, column,
+    row-chunk)`` with a fixed per-row slot layout, so each cell reads
+    the *same* uniforms no matter how rows are grouped into blocks or
+    sharded across workers.  The drawn instance is a pure function of
+    ``(model, DCs, weights, n, seed)`` — block size and worker count
+    are scheduling details.  That property is what makes **sharded
+    parallel draws** safe: ``workers=k`` fans the unconstrained-column
+    row ranges out over a thread pool and stitches shards bit-identical
+    to ``workers=1``.
+
+Selection itself uses the Gumbel-max trick: ``argmax(logp - penalty +
+gumbel)`` draws from exactly the normalised-product distribution of
+Algorithm 3 line 10, so the blocked engine samples from the *same law*
+as the row engine (its draws differ only through the rng scheme; the
+``engine="row"`` config keeps the legacy stream for exact replay of
+pre-engine outputs).
+
+Entry point: :func:`synthesize_engine` — the blocked counterpart of
+:func:`repro.core.sampling.synthesize`, dispatched from
+:meth:`repro.core.kamino.FittedKamino.sample` via ``KaminoConfig.engine``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hyper import HyperSpec
+from repro.core.sampling import (
+    _allocate_columns,
+    _allocate_working,
+    _append_row,
+    _ColumnSampler,
+    _forced_value,
+    _mcmc_resample,
+    _record_fd,
+)
+from repro.constraints.index import FDViolationIndex
+from repro.constraints.violations import multi_candidate_violation_counts
+from repro.schema.table import Table
+
+#: Fixed row-chunk of the counter-based noise streams.  Part of the
+#: persisted rng spec (model format v2): draws reproduce only under the
+#: chunking they were made with.
+NOISE_CHUNK = 2048
+
+#: Default cap on conflict-free block length (bounds peak probe width).
+MAX_BLOCK_ROWS = 512
+
+#: Rows below which sharding an unconstrained column is not worth the
+#: thread handoff.
+_MIN_SHARD_ROWS = 2048
+
+#: The rng spec persisted alongside the engine choice.
+ENGINE_RNG_SPEC = {"scheme": "philox-cell", "chunk": NOISE_CHUNK}
+
+#: Per-row uniform slots consumed by one fresh-value draw sequence.
+_FRESH_TRIES = 24
+#: Candidate-slot bounds mirrored from the row engine's limits:
+#: ``_consistent_values`` yields at most 4 dependents + 2 order
+#: endpoints per DC; ``_fresh_values`` at most 2 values per row.
+_CONSISTENT_SLOTS = 6
+_FRESH_SLOTS = 2
+
+_EMPTY = np.empty(0, dtype=np.float64)
+
+
+def _gumbel(u: np.ndarray) -> np.ndarray:
+    """Gumbel noise from uniforms (same guards as the row engine)."""
+    return -np.log(-np.log(u + 1e-300) + 1e-300)
+
+
+def _box_muller(u: np.ndarray) -> np.ndarray:
+    """Standard normals from uniform pairs, fixed two-per-normal.
+
+    ``u`` has shape (B, 2d); the result has shape (B, d).  Inverse-free
+    and exactly reproducible everywhere (no ziggurat, whose rejection
+    loop consumes a data-dependent number of words).
+    """
+    d = u.shape[1] // 2
+    r = np.sqrt(-2.0 * np.log(1.0 - u[:, :d]))
+    return r * np.cos(2.0 * np.pi * u[:, d:])
+
+
+class _CellNoise:
+    """Counter-based per-cell uniform streams for one column.
+
+    Row ``i``'s noise is row ``i % chunk`` of the ``(chunk, stride)``
+    matrix drawn from the Philox stream keyed ``(seed, tag, i //
+    chunk)``.  Chunks are fixed, so any row range regenerates the same
+    values regardless of block boundaries or which worker asks.
+    """
+
+    def __init__(self, seed: int, tag: int, stride: int,
+                 chunk: int = NOISE_CHUNK, n_rows: int | None = None):
+        self.seed = seed
+        self.tag = tag
+        self.stride = max(int(stride), 1)
+        self.chunk = int(chunk)
+        self.n_rows = n_rows
+        self._cache: dict[int, np.ndarray] = {}
+
+    def _chunk_rows(self, c: int) -> np.ndarray:
+        cached = self._cache.get(c)
+        if cached is None:
+            rows = self.chunk
+            if self.n_rows is not None:
+                # Generating only the needed prefix of the final chunk
+                # yields the same values (Generator.random fills the
+                # matrix row-major from one stream), just cheaper.
+                rows = min(rows, self.n_rows - c * self.chunk)
+            bitgen = np.random.Philox(
+                np.random.SeedSequence([self.seed, self.tag, c]))
+            cached = np.random.Generator(bitgen).random(
+                (rows, self.stride))
+            if len(self._cache) >= 4:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[c] = cached
+        return cached
+
+    def rows(self, lo: int, hi: int) -> np.ndarray:
+        """The (hi - lo, stride) noise matrix for rows [lo, hi)."""
+        if hi <= lo:
+            return np.empty((0, self.stride))
+        first, last = lo // self.chunk, (hi - 1) // self.chunk
+        if first == last:
+            block = self._chunk_rows(first)
+            return block[lo - first * self.chunk:hi - first * self.chunk]
+        parts = []
+        for c in range(first, last + 1):
+            block = self._chunk_rows(c)
+            base = c * self.chunk
+            parts.append(block[max(lo - base, 0):min(hi - base, self.chunk)])
+        return np.concatenate(parts, axis=0)
+
+
+@dataclass
+class _Layout:
+    """Per-row noise slot layout of one column."""
+
+    kind: str          # "cat" | "num" | "numhist"
+    d: int             # base candidate count (V, d, or q)
+    extras: int        # worst-case appended candidates per row
+    fresh_off: int     # offset of the fresh-value uniforms (or -1)
+    gumbel_off: int    # offset of the gumbel slots
+    stride: int
+
+    @property
+    def width(self) -> int:
+        """Widest candidate vector any row can present."""
+        return self.d + self.extras
+
+
+def _layout_for(sampler: _ColumnSampler, j: int, base) -> _Layout:
+    w = sampler.wseq[j]
+    hard_binary = sum(
+        1 for dc in sampler.active_at[j]
+        if dc.hard and not dc.is_unary and w in dc.attributes)
+    track_fresh = sampler.fresh_value_tracker(j) is not None
+    if base[0] == "cat":
+        d = sampler.wrel[w].domain.size
+        return _Layout("cat", d, 0, -1, 0, d)
+    if base[0] == "num":
+        d = sampler.params.num_candidates
+        value_slots = 2 * d          # box-muller pairs
+    else:
+        d = base[1].probs.shape[0]
+        value_slots = d              # one in-bin decode uniform per bin
+    extras = (_CONSISTENT_SLOTS * hard_binary
+              + (_FRESH_SLOTS if track_fresh else 0))
+    fresh = _FRESH_TRIES if track_fresh else 0
+    gumbel_off = value_slots
+    fresh_off = value_slots + d + extras if fresh else -1
+    stride = value_slots + d + extras + fresh
+    return _Layout(base[0], d, extras, fresh_off, gumbel_off, stride)
+
+
+# ----------------------------------------------------------------------
+# Unconstrained columns: fully vectorized, shardable across workers
+# ----------------------------------------------------------------------
+def _draw_unconstrained(sampler: _ColumnSampler, j: int, base,
+                        layout: _Layout, noise: _CellNoise, cols: dict,
+                        wcols: dict, lo: int, hi: int) -> None:
+    w = sampler.wseq[j]
+    wattr = sampler.wrel[w]
+    u = noise.rows(lo, hi)
+    if layout.kind == "cat":
+        codes = np.argmax(base[1][lo:hi] + _gumbel(u[:, :layout.d]), axis=1)
+        wcols[w][lo:hi] = codes
+        if sampler.hyper.is_hyper(w):
+            for attr, values in sampler.hyper.decode_codes(w, codes).items():
+                cols[attr][lo:hi] = values
+    elif layout.kind == "num":
+        d = layout.d
+        mu, sigma = base[1][lo:hi], base[2][lo:hi]
+        z = _box_muller(u[:, :2 * d])
+        cand = sampler.snap(
+            w, wattr.domain.clip(mu[:, None] + sigma[:, None] * z))
+        logp = -0.5 * ((cand - mu[:, None]) / sigma[:, None]) ** 2
+        pick = np.argmax(
+            logp + _gumbel(u[:, layout.gumbel_off:layout.gumbel_off + d]),
+            axis=1)
+        wcols[w][lo:hi] = cand[np.arange(hi - lo), pick]
+    else:
+        hist = base[1]
+        q = layout.d
+        logp = hist.log_prob_codes()[None, :]
+        bins = np.argmax(
+            logp + _gumbel(u[:, layout.gumbel_off:layout.gumbel_off + q]),
+            axis=1)
+        edges = hist.quantizer.edges
+        dec = u[np.arange(hi - lo), bins]
+        values = edges[bins] + dec * (edges[bins + 1] - edges[bins])
+        wcols[w][lo:hi] = sampler.snap(
+            w, hist.quantizer.domain.clip(values))
+
+
+def _fill_unconstrained(sampler: _ColumnSampler, j: int, base,
+                        layout: _Layout, noise_key: tuple, cols: dict,
+                        wcols: dict, n: int,
+                        pool: ThreadPoolExecutor | None,
+                        workers: int) -> None:
+    def run(lo: int, hi: int) -> None:
+        # Each shard builds its own noise view: streams are keyed by
+        # fixed chunks, so regeneration is bit-identical and the shard
+        # split never shows in the output.
+        _draw_unconstrained(sampler, j, base, layout,
+                            _CellNoise(*noise_key), cols, wcols, lo, hi)
+
+    if pool is None or n < max(2 * _MIN_SHARD_ROWS, workers):
+        run(0, n)
+        return
+    bounds = np.linspace(0, n, workers + 1).astype(int)
+    list(pool.map(lambda se: run(se[0], se[1]),
+                  [(int(bounds[k]), int(bounds[k + 1]))
+                   for k in range(workers) if bounds[k] < bounds[k + 1]]))
+
+
+# ----------------------------------------------------------------------
+# Constrained columns: conflict-aware blocks
+# ----------------------------------------------------------------------
+def _conflict_keys(sampler: _ColumnSampler, j: int) -> list | None:
+    """Per-DC group-key attribute tuples, or None for conflict-all.
+
+    A column can be block-scheduled only when every active non-unary DC
+    has a group key (FD determinant / order equality attributes) fully
+    determined by earlier positions and untouched by the target —
+    otherwise any candidate could move a row into any group and every
+    pair of rows potentially interacts.
+    """
+    w = sampler.wseq[j]
+    if sampler.hyper.is_hyper(w):
+        target_attrs = set(sampler.hyper.original_attrs(w))
+    else:
+        target_attrs = {w}
+    earlier = sampler.covered_after[j - 1] if j > 0 else set()
+    specs = []
+    for dc in sampler.active_at[j]:
+        if dc.is_unary:
+            continue  # penalties depend on the row alone: no conflicts
+        fd = dc.as_fd()
+        if fd is not None:
+            key = tuple(fd[0])
+        else:
+            shape = dc.as_conditional_order()
+            if shape is None or not shape[0]:
+                return None  # generic binary / eq-less order: one group
+            key = tuple(shape[0])
+        if any(a in target_attrs for a in key) or not set(key) <= earlier:
+            return None
+        specs.append(key)
+    return specs
+
+
+def _conflict_blocks(specs: list, cols: dict, n: int, max_block: int):
+    """Greedy partition of 0..n into conflict-free consecutive blocks."""
+    if not specs:
+        # Only unary DCs: rows never interact; cap block width anyway to
+        # bound the penalty-matrix memory.
+        for lo in range(0, n, max_block):
+            yield (lo, min(lo + max_block, n))
+        return
+    key_rows = []
+    for s, key in enumerate(specs):
+        columns = [cols[a].tolist() for a in key]
+        key_rows.append(list(zip(*columns)) if len(columns) > 1
+                        else columns[0])
+    seen: set = set()
+    start = 0
+    for i in range(n):
+        row_keys = [(s, key_rows[s][i]) for s in range(len(specs))]
+        if (i - start) >= max_block or any(k in seen for k in row_keys):
+            yield (start, i)
+            seen.clear()
+            start = i
+        seen.update(row_keys)
+    if n > start:
+        yield (start, n)
+
+
+class _ColumnPass:
+    """Shared state of one constrained column pass."""
+
+    def __init__(self, sampler: _ColumnSampler, j: int, base,
+                 layout: _Layout, noise: _CellNoise, cols: dict,
+                 wcols: dict, fd_indexes: list):
+        self.sampler = sampler
+        self.j = j
+        self.base = base
+        self.layout = layout
+        self.noise = noise
+        self.cols = cols
+        self.wcols = wcols
+        self.fd_indexes = fd_indexes
+        self.w = sampler.wseq[j]
+        self.vio = sampler.violation_indexes_for(j)
+        self.used = sampler.fresh_value_tracker(j)
+        self.active = sampler.active_at[j]
+        if layout.kind == "cat":
+            codes = np.arange(layout.d, dtype=np.int64)
+            if sampler.hyper.is_hyper(self.w):
+                self.decoded = sampler.hyper.decode_codes(self.w, codes)
+                self.decoded_is_codes = False
+            else:
+                self.decoded = {self.w: codes}
+                self.decoded_is_codes = True
+        else:
+            self.decoded = None
+            self.decoded_is_codes = False
+        self._active_specs = [
+            (dc, sampler.weight_of(dc),
+             tuple(a for a in (self.decoded or {}) if a in dc.attributes))
+            for dc in self.active]
+        self._chunk_cache: dict[int, tuple] = {}
+        self._n_rows = next(iter(cols.values())).shape[0]
+
+    # -- penalties -----------------------------------------------------
+    def _penalty(self, rows: np.ndarray, target_values,
+                 per_row_tv: list | None,
+                 prefix_upto: int | None = None) -> np.ndarray:
+        """(B, width) weighted violation counts for the scored rows.
+
+        ``target_values`` is the shared candidate decode (categorical)
+        or None; ``per_row_tv`` lists per-row candidate dicts
+        (numerical).  Probes go through the violation indexes
+        (``probe_many``); DCs without one fall back to the scan engine
+        — over the prefix ``[:prefix_upto]`` (the block start, matching
+        the index state) or each row's own prefix when None.  Counts
+        agree bit for bit, so ``use_violation_index`` never changes the
+        draw.
+        """
+        cols = self.cols
+        width = (next(iter(target_values.values())).shape[0]
+                 if target_values is not None
+                 else per_row_tv[0][self.w].shape[0])
+        penalty = np.zeros((rows.shape[0], width))
+        for dc, weight, tattrs in self._active_specs:
+            fast = None
+            if target_values is not None:
+                fast = self._fd_block_counts(dc, tattrs, rows,
+                                             target_values)
+            if fast is not None:
+                penalty += weight * fast
+                continue
+            if target_values is not None:
+                tv = {a: target_values[a] for a in tattrs}
+                tv_arg = tv
+            else:
+                tv_arg = [{a: v for a, v in row_tv.items()
+                           if a in dc.attributes}
+                          for row_tv in per_row_tv]
+                tv = tv_arg[0]
+            ctx_attrs = [a for a in dc.attributes if a not in tv]
+            contexts = [{a: cols[a][i] for a in ctx_attrs} for i in rows]
+            counts = None
+            index = self.vio.get(dc.name)
+            if index is not None:
+                counts = index.probe_many(tv_arg, contexts)
+            if counts is None:
+                counts = np.vstack([
+                    multi_candidate_violation_counts(
+                        dc,
+                        tv_arg if isinstance(tv_arg, dict) else tv_arg[r],
+                        contexts[r],
+                        {a: cols[a][:(prefix_upto if prefix_upto
+                                      is not None else i)]
+                         for a in dc.attributes})
+                    for r, i in enumerate(rows)])
+            penalty += weight * counts
+        return penalty
+
+    def _fd_block_counts(self, dc, tattrs: tuple, rows: np.ndarray,
+                         target_values: dict) -> np.ndarray | None:
+        """Vectorized block counts for the two hot FD probe layouts.
+
+        Dependent-target (determinant known): one histogram subtraction
+        per row via ``probe_block_codes``.  Determinant-target (single
+        determinant attribute, dependent known): one det-major cache
+        subtraction per row via ``probe_det_codes``.  None on any other
+        layout — the caller takes the generic path.
+        """
+        index = self.vio.get(dc.name)
+        if not isinstance(index, FDViolationIndex) \
+                or not self.decoded_is_codes:
+            return None
+        cols, size = self.cols, self.layout.d
+        if tattrs == (index.dependent,):
+            det_cols = [cols[a][rows].tolist() for a in index.determinant]
+            if len(det_cols) == 1:
+                keys = [(v,) for v in det_cols[0]]
+            else:
+                keys = list(zip(*det_cols))
+            return index.probe_block_codes(keys, size)
+        if (len(index.determinant) == 1
+                and tattrs == (index.determinant[0],)):
+            deps = cols[index.dependent][rows].tolist()
+            out = np.empty((rows.shape[0], size), dtype=np.int64)
+            for r, dep in enumerate(deps):
+                counts = index.probe_det_codes(dep, size)
+                if counts is None:
+                    return None
+                out[r] = counts
+            return out
+        return None
+
+    # -- scoring -------------------------------------------------------
+    def _pen_at(self, i: int, pick: int) -> float:
+        """Row ``i``'s penalty at candidate ``pick`` vs the live state.
+
+        Same per-DC accumulation order (and hence bitwise-identical
+        float result) as :meth:`_penalty` restricted to one candidate,
+        so equality against the block-start matrix entry means "nothing
+        this row depends on changed".
+        """
+        total = 0.0
+        cols = self.cols
+        for dc, weight, tattrs in self._active_specs:
+            row = {a: cols[a][i] for a in dc.attributes if a not in tattrs}
+            for a in tattrs:
+                row[a] = self.decoded[a][pick]
+            counts = None
+            index = self.vio.get(dc.name)
+            if index is not None:
+                counts = index.candidate_counts(None, row)
+            if counts is None:
+                tv = {a: self.decoded[a][pick:pick + 1] for a in tattrs}
+                context = {a: row[a] for a in dc.attributes
+                           if a not in tattrs}
+                counts = multi_candidate_violation_counts(
+                    dc, tv, context,
+                    {a: cols[a][:i] for a in dc.attributes})
+            total += weight * counts[0]
+        return total
+
+    def _rescore_cat_row(self, i: int, logp_row: np.ndarray,
+                         g_row: np.ndarray) -> int:
+        """Sequential-exact re-score of one row against the live state."""
+        rows = np.asarray([i], dtype=np.int64)
+        penalty = self._penalty(rows, self.decoded, None)[0]
+        return int(np.argmax(logp_row - penalty + g_row))
+
+    def _write_cat(self, i: int, pick: int) -> None:
+        self.wcols[self.w][i] = pick
+        if self.sampler.hyper.is_hyper(self.w):
+            for attr, values in self.decoded.items():
+                self.cols[attr][i] = values[pick]
+
+    def fill_cat(self, n: int, max_block: int) -> None:
+        """Optimistic fixed blocks with per-row validation (cat target).
+
+        Every block is scored in one shot against the block-start index
+        state; rows are then validated in order against the live state.
+        A row is kept iff its picked candidate's penalty is unchanged —
+        exact, because in-block penalties are monotone nondecreasing
+        (groups only grow), so other candidates' scores can only have
+        fallen and the original first-index argmax still wins.  Rows
+        that fail the check (an earlier in-block row entered one of
+        their groups disruptively) are re-scored sequentially with the
+        same per-cell noise, which is exactly the singleton-block
+        computation.
+
+        Columns whose active DCs are all FD-shaped (plus any unary) run
+        the allocation-free pair-probe lane; anything else goes through
+        the generic probe machinery.  Both lanes produce the same draws
+        for any block size.
+        """
+        specs = self._fd_lane_specs()
+        if specs is not None:
+            self._fill_cat_fd_lane(n, max_block, specs)
+        else:
+            self._fill_cat_generic(n, max_block)
+
+    def _fill_cat_generic(self, n: int, max_block: int) -> None:
+        cols, w = self.cols, self.w
+        V = self.layout.d
+        for lo in range(0, n, max_block):
+            hi = min(lo + max_block, n)
+            rows = np.arange(lo, hi, dtype=np.int64)
+            u = self.noise.rows(lo, hi)
+            logp = self.base[1][lo:hi]
+            g = _gumbel(u[:, :V])
+            penalty = self._penalty(rows, self.decoded, None,
+                                    prefix_upto=lo)
+            picks = np.argmax(logp - penalty + g, axis=1)
+            for i in range(lo, hi):
+                r = i - lo
+                if self.fd_indexes:
+                    forced = _forced_value(self.fd_indexes, cols, i)
+                    if forced is not None:
+                        self.wcols[w][i] = forced
+                        self._fold_row(i)
+                        continue
+                pick = int(picks[r])
+                if self._pen_at(i, pick) != penalty[r, pick]:
+                    pick = self._rescore_cat_row(i, logp[r], g[r])
+                self._write_cat(i, pick)
+                self._fold_row(i)
+
+    def _fd_lane_specs(self) -> list | None:
+        """Per-DC ``(weight, index, mode, source_attrs)`` for the pure-
+        FD fast lane, or None when any active non-unary DC doesn't fit
+        (no index, non-FD shape, hyper target, composite det target).
+        """
+        if not self.decoded_is_codes:
+            return None
+        specs = []
+        for dc, weight, tattrs in self._active_specs:
+            if dc.is_unary:
+                continue
+            index = self.vio.get(dc.name)
+            if not isinstance(index, FDViolationIndex):
+                return None
+            if tattrs == (index.dependent,):
+                specs.append((weight, index, "dep", index.determinant))
+            elif (len(index.determinant) == 1
+                    and tattrs == (index.determinant[0],)):
+                specs.append((weight, index, "det", (index.dependent,)))
+            else:
+                return None
+        return specs
+
+    def _unary_penalty(self, lo: int, hi: int) -> np.ndarray | None:
+        """(B, V) weighted unary counts (prefix-independent), or None."""
+        unary = [(dc, wt) for dc, wt, _ in self._active_specs
+                 if dc.is_unary]
+        if not unary:
+            return None
+        cols, V = self.cols, self.layout.d
+        penalty = np.zeros((hi - lo, V))
+        for dc, weight in unary:
+            tv = {a: self.decoded[a] for a in dc.attributes
+                  if a in self.decoded}
+            ctx_attrs = [a for a in dc.attributes if a not in tv]
+            counts = np.vstack([
+                multi_candidate_violation_counts(
+                    dc, tv, {a: cols[a][i] for a in ctx_attrs}, {})
+                for i in range(lo, hi)])
+            penalty += weight * counts
+        return penalty
+
+    def _fill_cat_fd_lane(self, n: int, max_block: int,
+                          specs: list) -> None:
+        """The hot lane: FD-only columns, integer-exact validation.
+
+        Per block: one vectorized probe per DC, one gumbel-argmax; per
+        row: O(1) pair probes to validate, O(1) pair appends to fold.
+        Validation compares raw per-DC counts (integers), so keep/
+        rescore decisions carry no float subtleties at all.
+        """
+        cols, w = self.cols, self.w
+        V = self.layout.d
+        logp_all = self.base[1]
+        for lo in range(0, n, max_block):
+            hi = min(lo + max_block, n)
+            B = hi - lo
+            u = self.noise.rows(lo, hi)
+            g = _gumbel(u[:, :V])
+            scores = logp_all[lo:hi] + g
+            per_dc = []
+            for weight, index, mode, src in specs:
+                if mode == "dep":
+                    src_cols = [cols[a][lo:hi].tolist() for a in src]
+                    keys = ([(v,) for v in src_cols[0]]
+                            if len(src_cols) == 1 else
+                            list(zip(*src_cols)))
+                    counts = index.probe_block_codes(keys, V)
+                    per_dc.append((weight, index, mode, keys, counts))
+                else:
+                    deps = cols[src[0]][lo:hi].tolist()
+                    counts = np.empty((B, V), dtype=np.int64)
+                    for r, dep in enumerate(deps):
+                        index.probe_det_codes(dep, V, out=counts[r])
+                    per_dc.append((weight, index, mode, deps, counts))
+                scores -= weight * counts
+            pen_unary = self._unary_penalty(lo, hi)
+            if pen_unary is not None:
+                scores -= pen_unary
+            picks = np.argmax(scores, axis=1).tolist()
+            for r in range(B):
+                i = lo + r
+                if self.fd_indexes:
+                    forced = _forced_value(self.fd_indexes, cols, i)
+                    if forced is not None:
+                        self.wcols[w][i] = forced
+                        pick = int(cols[w][i])
+                        for weight, index, mode, side, counts in per_dc:
+                            if mode == "dep":
+                                index.add_pair(side[r], pick)
+                            else:
+                                index.add_pair((pick,), side[r])
+                        _record_fd(self.fd_indexes, cols, i)
+                        continue
+                pick = picks[r]
+                valid = True
+                for weight, index, mode, side, counts in per_dc:
+                    now = (index.probe_pair(side[r], pick)
+                           if mode == "dep"
+                           else index.probe_pair((pick,), side[r]))
+                    if now != counts[r, pick]:
+                        valid = False
+                        break
+                if not valid:
+                    # Re-score vs the live state, same op order as the
+                    # block pass so kept and re-scored rows are the
+                    # same computation at B=1.
+                    s = logp_all[i] + g[r]
+                    for weight, index, mode, side, counts in per_dc:
+                        if mode == "dep":
+                            c = index.probe_block_codes([side[r]], V)[0]
+                        else:
+                            c = index.probe_det_codes(side[r], V)
+                        s = s - weight * c
+                    if pen_unary is not None:
+                        s = s - pen_unary[r]
+                    pick = int(np.argmax(s))
+                self.wcols[w][i] = pick
+                for weight, index, mode, side, counts in per_dc:
+                    if mode == "dep":
+                        index.add_pair(side[r], pick)
+                    else:
+                        index.add_pair((pick,), side[r])
+                _record_fd(self.fd_indexes, cols, i)
+
+    def _fold_row(self, i: int) -> None:
+        _record_fd(self.fd_indexes, self.cols, i)
+        _append_row(self.vio, self.cols, i)
+        if self.used is not None:
+            self.used.add(float(self.cols[self.w][i]))
+
+    def _base_candidates(self, lo: int, hi: int):
+        """(cand, logp) base candidate matrices for rows [lo, hi).
+
+        The d base candidates of a numerical target depend only on the
+        row's conditional and its noise slots — never on the sampled
+        prefix — so they are computed in noise-chunk-sized vectorized
+        batches and cached, independent of how the scheduler groups
+        rows.
+        """
+        chunk = self.noise.chunk
+        first, last = lo // chunk, (hi - 1) // chunk
+        parts = [self._base_chunk(c) for c in range(first, last + 1)]
+        base = first * chunk
+        if len(parts) == 1:
+            cand, logp = parts[0]
+            return cand[lo - base:hi - base], logp[lo - base:hi - base]
+        cand = np.concatenate([p[0] for p in parts], axis=0)
+        logp = np.concatenate([p[1] for p in parts], axis=0)
+        return cand[lo - base:hi - base], logp[lo - base:hi - base]
+
+    def _base_chunk(self, c: int):
+        cached = self._chunk_cache.get(c)
+        if cached is not None:
+            return cached
+        sampler, layout = self.sampler, self.layout
+        w = self.w
+        wattr = sampler.wrel[w]
+        d = layout.d
+        lo = c * self.noise.chunk
+        hi = min(lo + self.noise.chunk, self._n_rows)
+        u = self.noise.rows(lo, hi)
+        if layout.kind == "num":
+            mu, sigma = self.base[1][lo:hi], self.base[2][lo:hi]
+            z = _box_muller(u[:, :2 * d])
+            cand = sampler.snap(
+                w, wattr.domain.clip(mu[:, None] + sigma[:, None] * z))
+            logp = -0.5 * ((cand - mu[:, None]) / sigma[:, None]) ** 2
+        else:
+            hist = self.base[1]
+            edges = hist.quantizer.edges
+            dec = u[:, :d]
+            raw = edges[:-1][None, :] + dec * np.diff(edges)[None, :]
+            cand = sampler.snap(w, hist.quantizer.domain.clip(raw))
+            logp = np.broadcast_to(hist.log_prob_codes()[None, :],
+                                   (hi - lo, d)).copy()
+        if len(self._chunk_cache) >= 2:
+            self._chunk_cache.pop(next(iter(self._chunk_cache)))
+        self._chunk_cache[c] = (cand, logp)
+        return cand, logp
+
+    def _score_numeric(self, rows: np.ndarray, u: np.ndarray,
+                       lo: int) -> None:
+        sampler, layout = self.sampler, self.layout
+        w, cols = self.w, self.cols
+        d, width = layout.d, layout.width
+        sel = rows - lo
+        B = rows.shape[0]
+        hi = int(rows[-1]) + 1
+        cand_all, logp_all = self._base_candidates(lo, hi)
+        cand, logp = cand_all[sel], logp_all[sel]
+        cmat = np.empty((B, width))
+        cmat[:, :d] = cand
+        if width > d:
+            cmat[:, d:] = cand[:, :1]  # valid pad, masked by -inf below
+        lpm = np.full((B, width), -np.inf)
+        lpm[:, :d] = logp
+        if layout.extras:
+            for r, i in enumerate(rows):
+                extra = sampler._consistent_values(self.j, w, cols, int(i),
+                                                   indexes=self.vio)
+                fresh = np.empty(0)
+                if layout.fresh_off >= 0:
+                    fresh = sampler._fresh_values(
+                        self.j, w, cols, int(i), used=self.used,
+                        uniforms=u[i - lo][layout.fresh_off:
+                                           layout.fresh_off + _FRESH_TRIES])
+                added = np.concatenate([extra, fresh])
+                k = added.shape[0]
+                if not k:
+                    continue
+                cmat[r, d:d + k] = added
+                if layout.kind == "num":
+                    lpm[r, d:d + k] = (-0.5 * ((added - self.base[1][i])
+                                               / self.base[2][i]) ** 2)
+                else:
+                    hist = self.base[1]
+                    lpm[r, d:d + k] = hist.log_prob_codes()[
+                        hist.quantizer.encode(added)]
+        per_row_tv = [{w: cmat[r]} for r in range(B)]
+        penalty = self._penalty(rows, None, per_row_tv, prefix_upto=lo)
+        g = _gumbel(u[sel][:, layout.gumbel_off:layout.gumbel_off + width])
+        pick = np.argmax(lpm - penalty + g, axis=1)
+        self.wcols[w][rows] = cmat[np.arange(B), pick]
+
+    # -- sequential numeric driver (conflict-all columns) --------------
+    def fill_numeric_sequential(self, n: int) -> None:
+        """Per-row pass for columns whose rows all potentially interact
+        (eq-less order DCs, determinant-feeding targets, generic binary
+        DCs).  Candidates and noise still come from the vectorized
+        chunk machinery; only extras, penalty probes, and the argmax
+        run per row — strictly less per-row Python than the row engine
+        (no per-row rng, no normalise-and-choice).
+        """
+        sampler, layout = self.sampler, self.layout
+        w, cols = self.w, self.cols
+        d = layout.d
+        j = self.j
+        gum_off, fresh_off = layout.gumbel_off, layout.fresh_off
+        hist = self.base[1] if layout.kind == "numhist" else None
+        for i in range(n):
+            if self.fd_indexes:
+                forced = _forced_value(self.fd_indexes, cols, i)
+                if forced is not None:
+                    self.wcols[w][i] = forced
+                    self._fold_row(i)
+                    continue
+            cand_base, logp_base = self._base_candidates(i, i + 1)
+            cand, logp = cand_base[0], logp_base[0]
+            u_row = self.noise.rows(i, i + 1)[0]
+            if layout.extras:
+                extra = sampler._consistent_values(j, w, cols, i,
+                                                   indexes=self.vio)
+                fresh = _EMPTY
+                if fresh_off >= 0:
+                    fresh = sampler._fresh_values(
+                        j, w, cols, i, used=self.used,
+                        uniforms=u_row[fresh_off:fresh_off + _FRESH_TRIES])
+                if extra.size or fresh.size:
+                    added = np.concatenate([extra, fresh])
+                    cand = np.concatenate([cand, added])
+                    if layout.kind == "num":
+                        added_lp = (-0.5 * ((added - self.base[1][i])
+                                            / self.base[2][i]) ** 2)
+                    else:
+                        added_lp = hist.log_prob_codes()[
+                            hist.quantizer.encode(added)]
+                    logp = np.concatenate([logp, added_lp])
+            k = cand.shape[0]
+            pen = None
+            for dc, weight, _ in self._active_specs:
+                tv = {w: cand}
+                context = {a: cols[a][i] for a in dc.attributes if a != w}
+                counts = None
+                index = self.vio.get(dc.name)
+                if index is not None:
+                    counts = index.candidate_counts(tv, context)
+                if counts is None:
+                    counts = multi_candidate_violation_counts(
+                        dc, tv, context,
+                        {a: cols[a][:i] for a in dc.attributes})
+                pen = (weight * counts if pen is None
+                       else pen + weight * counts)
+            g = _gumbel(u_row[gum_off:gum_off + k])
+            scores = logp + g if pen is None else logp - pen + g
+            pick = int(np.argmax(scores))
+            self.wcols[w][i] = cand[pick]
+            self._fold_row(i)
+
+    # -- block driver (numerical targets) ------------------------------
+    def process_block(self, lo: int, hi: int) -> None:
+        cols, w = self.cols, self.w
+        score_rows = []
+        if self.fd_indexes:
+            for i in range(lo, hi):
+                forced = _forced_value(self.fd_indexes, cols, i)
+                if forced is not None:
+                    self.wcols[w][i] = forced
+                else:
+                    score_rows.append(i)
+        else:
+            score_rows = list(range(lo, hi))
+        if score_rows:
+            rows = np.asarray(score_rows, dtype=np.int64)
+            u = self.noise.rows(lo, hi)
+            self._score_numeric(rows, u, lo)
+        for i in range(lo, hi):
+            self._fold_row(i)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def synthesize_engine(model, relation, dcs, weights, n: int, params,
+                      seed: int, hyper: HyperSpec | None = None,
+                      use_fd_lookup: bool = False,
+                      use_violation_index: bool = True,
+                      workers: int = 1,
+                      max_block_rows: int = MAX_BLOCK_ROWS,
+                      noise_chunk: int = NOISE_CHUNK) -> Table:
+    """Blocked-engine counterpart of :func:`repro.core.sampling.synthesize`.
+
+    The output is a deterministic function of the arguments — in
+    particular it does **not** depend on ``workers`` or
+    ``max_block_rows`` (scheduling knobs only).  ``seed`` keys every
+    per-cell noise stream; ``noise_chunk`` is the persisted chunking of
+    those streams (model format v2 records it so reloaded models replay
+    their draws).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if hyper is None:
+        hyper = HyperSpec.trivial(relation, model.sequence)
+    master = int(seed)
+    sampler = _ColumnSampler(
+        model, relation, hyper, dcs, weights, params,
+        rng=np.random.default_rng(0), use_fd_lookup=use_fd_lookup,
+        use_violation_index=use_violation_index)
+    cols = _allocate_columns(relation, n)
+    wcols = _allocate_working(sampler, cols, n)
+
+    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+    try:
+        for j in range(len(sampler.wseq)):
+            base = sampler.base_distribution(j, wcols, n)
+            layout = _layout_for(sampler, j, base)
+            noise_key = (master, 2 * j, layout.stride, noise_chunk, n)
+            active = sampler.active_at[j]
+            fd_indexes = sampler.fd_indexes_for(j)
+            if not active and not fd_indexes:
+                _fill_unconstrained(sampler, j, base, layout, noise_key,
+                                    cols, wcols, n, pool, workers)
+            elif n > 0:
+                col = _ColumnPass(sampler, j, base, layout,
+                                  _CellNoise(*noise_key), cols, wcols,
+                                  fd_indexes)
+                if layout.kind == "cat":
+                    # Candidates are the fixed code domain: score whole
+                    # blocks optimistically, validate per row.
+                    col.fill_cat(n, max_block_rows)
+                else:
+                    # Numerical candidates depend on the prefix (hard-DC
+                    # augmentation): only schedule provably disjoint
+                    # rows together.
+                    specs = _conflict_keys(sampler, j)
+                    if specs is None:
+                        col.fill_numeric_sequential(n)
+                    else:
+                        for lo, hi in _conflict_blocks(specs, cols, n,
+                                                       max_block_rows):
+                            col.process_block(lo, hi)
+            if params.mcmc_m > 0:
+                # The refinement is inherently sequential; it draws from
+                # its own keyed stream so the column passes above stay
+                # schedule-invariant.
+                sampler.rng = np.random.Generator(np.random.Philox(
+                    np.random.SeedSequence([master, 2 * j + 1])))
+                _mcmc_resample(sampler, j, cols, wcols, n, params.mcmc_m)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True)
+    return Table(relation, cols, validate=False)

@@ -62,6 +62,7 @@ from repro.core.weights import learn_dc_weights
 from repro.schema.table import Table
 
 _WEIGHT_ESTIMATORS = ("matrix", "capped")
+_ENGINES = ("blocked", "row")
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,13 @@ class KaminoConfig:
         literal Algorithm 5) or ``"capped"`` (log-odds over capped
         violation indicators — better when the budget affords an
         informative release); see :mod:`repro.core.weights`.
+    engine:
+        Sampling engine: ``"blocked"`` (default — the block-scheduled
+        vectorized engine of :mod:`repro.core.engine`, counter-based
+        per-cell rng, supports ``workers``) or ``"row"`` (the legacy
+        per-row loop, bit-exact replay of pre-engine outputs).  Both
+        sample the same distribution; they differ only in rng scheme
+        and speed.
     """
 
     epsilon: float
@@ -120,6 +128,7 @@ class KaminoConfig:
     random_sequence: bool = False
     constraint_aware_sampling: bool = True
     weight_estimator: str = "matrix"
+    engine: str = "blocked"
 
     def __post_init__(self):
         object.__setattr__(self, "epsilon", float(self.epsilon))
@@ -140,6 +149,9 @@ class KaminoConfig:
             raise ValueError(
                 f"weight_estimator must be one of {_WEIGHT_ESTIMATORS}, "
                 f"got {self.weight_estimator!r}")
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"engine must be one of {_ENGINES}, got {self.engine!r}")
 
     @property
     def private(self) -> bool:
@@ -208,6 +220,10 @@ class FittedKamino:
     #: resumes from here, which is what makes ``fit(t).sample(n)``
     #: bit-identical to the historical fused ``fit_sample(t, n)``.
     sampling_state: dict | None = None
+    #: Counter-rng spec of the blocked engine (scheme + noise chunking),
+    #: persisted with the model so reloaded artifacts replay their
+    #: draws; None on legacy artifacts (which default to engine="row").
+    rng_spec: dict | None = None
 
     @property
     def private(self) -> bool:
@@ -232,25 +248,60 @@ class FittedKamino:
                             timings=timings)
 
     def sample(self, n: int | None = None, seed: int | None = None,
+               workers: int = 1, engine: str | None = None,
                ) -> KaminoResult:
         """Draw a synthetic instance (Algorithm 3, post-processing).
 
-        ``n`` defaults to the fitted input size.  ``seed=None`` resumes
+        ``n`` defaults to the fitted input size.  ``seed=None`` draws
+        with the fitted config's seed; under ``engine="row"`` it resumes
         the pipeline rng where :meth:`Kamino.fit` left it (so the first
         default draw reproduces the fused ``fit_sample`` bit for bit,
         and repeated default draws are identical); pass distinct seeds
         for distinct draws.
+
+        ``engine`` overrides the fitted ``config.engine`` for this draw:
+        ``"blocked"`` is the block-scheduled vectorized engine
+        (deterministic per seed regardless of scheduling), ``"row"`` the
+        legacy loop for exact replay of pre-engine outputs.  ``workers``
+        shards the blocked engine's unconstrained column passes over a
+        thread pool — output is bit-identical for any worker count.
         """
         n_out = self.default_n if n is None else int(n)
-        rng = self._sampling_rng(seed)
         cfg = self.config
+        engine = cfg.engine if engine is None else engine
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, "
+                             f"got {engine!r}")
+        if workers != 1 and engine != "blocked":
+            raise ValueError("workers != 1 requires engine='blocked' "
+                             "(the row engine is sequential)")
         sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
         start = time.perf_counter()
-        synthetic = synthesize(
-            self.model, self.relation, sampled_dcs, self.weights, n_out,
-            self.params, rng, hyper=self.hyper,
-            use_fd_lookup=cfg.use_fd_lookup,
-            use_violation_index=cfg.use_violation_index)
+        if engine == "blocked":
+            from repro.core.engine import NOISE_CHUNK, synthesize_engine
+            spec = self.rng_spec or {}
+            scheme = spec.get("scheme", "philox-cell")
+            if scheme != "philox-cell":
+                # Drawing with a different stream than the artifact
+                # records would silently break draw replay.
+                raise ValueError(
+                    f"model was fitted under rng scheme {scheme!r}, "
+                    f"which this version cannot reproduce")
+            chunk = spec.get("chunk", NOISE_CHUNK)
+            master = int(cfg.seed if seed is None else seed)
+            synthetic = synthesize_engine(
+                self.model, self.relation, sampled_dcs, self.weights,
+                n_out, self.params, master, hyper=self.hyper,
+                use_fd_lookup=cfg.use_fd_lookup,
+                use_violation_index=cfg.use_violation_index,
+                workers=workers, noise_chunk=chunk)
+        else:
+            rng = self._sampling_rng(seed)
+            synthetic = synthesize(
+                self.model, self.relation, sampled_dcs, self.weights,
+                n_out, self.params, rng, hyper=self.hyper,
+                use_fd_lookup=cfg.use_fd_lookup,
+                use_violation_index=cfg.use_violation_index)
         return self._result(synthetic, time.perf_counter() - start)
 
     def sample_ar(self, n: int | None = None, seed: int | None = None,
@@ -296,7 +347,8 @@ class FittedKamino:
                    weights=payload["weights"], model=payload["model"],
                    default_n=payload["default_n"],
                    fit_timings=payload["fit_timings"],
-                   sampling_state=payload["sampling_state"])
+                   sampling_state=payload["sampling_state"],
+                   rng_spec=payload["rng_spec"])
 
 
 class Kamino:
@@ -333,6 +385,7 @@ class Kamino:
                  random_sequence: bool = _UNSET,
                  constraint_aware_sampling: bool = _UNSET,
                  weight_estimator: str = _UNSET,
+                 engine: str = _UNSET,
                  config: KaminoConfig | None = None):
         knobs = {
             name: value for name, value in (
@@ -346,6 +399,7 @@ class Kamino:
                 ("random_sequence", random_sequence),
                 ("constraint_aware_sampling", constraint_aware_sampling),
                 ("weight_estimator", weight_estimator),
+                ("engine", engine),
             ) if value is not _UNSET}
         if config is None:
             if epsilon is None:
@@ -460,12 +514,14 @@ class Kamino:
                                    else params.weight_init)
         timings["DC.W."] = time.perf_counter() - start
 
+        from repro.core.engine import ENGINE_RNG_SPEC
         return FittedKamino(
             relation=self.relation, dcs=list(self.dcs), config=cfg,
             sequence=sequence, independent=independent, hyper=hyper,
             params=params, weights=weights, model=model,
             default_n=table.n, fit_timings=timings,
-            sampling_state=rng.bit_generator.state)
+            sampling_state=rng.bit_generator.state,
+            rng_spec=dict(ENGINE_RNG_SPEC))
 
     def fit_sample(self, table: Table, n: int | None = None,
                    weights: dict[str, float] | None = None) -> KaminoResult:

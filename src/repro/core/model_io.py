@@ -21,10 +21,14 @@ sub-model, so parallel-trained models with per-model encoders round-trip
 too) plus a JSON metadata blob.  Version 2 of the format additionally
 records the hyper-attribute grouping (as member-name groups — the
 working relation is re-derived from them), the schema sequence, the
-independent-attribute set, the :class:`~repro.core.kamino.KaminoConfig`,
-and the post-fit sampler randomness state, so grouped and
-large-domain-fallback models round-trip and a reloaded model reproduces
-the original draws bit for bit.  Version 1 files still load.
+independent-attribute set, the :class:`~repro.core.kamino.KaminoConfig`
+(including the sampling ``engine``), the post-fit sampler randomness
+state, and the blocked engine's counter-rng spec (Philox scheme + noise
+chunking), so grouped and large-domain-fallback models round-trip and a
+reloaded model reproduces the original draws bit for bit under either
+engine.  Version 1 files still load; v2 files written before the engine
+knob existed load with ``engine="row"`` so their historical draws keep
+replaying.
 
 The relation is *not* stored — it is public schema the caller already
 persists via :mod:`repro.io`; passing a mismatching relation fails
@@ -59,7 +63,7 @@ _PERSISTED_CONFIG = ("epsilon", "delta", "seed", "group_max_domain",
                      "large_domain_threshold", "use_fd_lookup",
                      "use_violation_index", "parallel_training",
                      "random_sequence", "constraint_aware_sampling",
-                     "weight_estimator")
+                     "weight_estimator", "engine")
 
 
 def _histogram_meta(hist: HistogramModel) -> dict:
@@ -172,6 +176,9 @@ def save_fitted(path: str, fitted) -> None:
         "sampling_state": fitted.sampling_state,
         "config": {f: getattr(config, f) for f in _PERSISTED_CONFIG},
         "params_override_used": config.params_override is not None,
+        # Counter-rng spec of the blocked engine: a reloaded model must
+        # draw with the chunking it was fitted under to replay draws.
+        "rng_spec": fitted.rng_spec,
     }
     arrays["meta.json"] = np.array(json.dumps(meta))
     np.savez(path, **arrays)
@@ -285,7 +292,12 @@ def load_fitted(path: str, relation) -> dict:
     model, hyper = _rebuild_model(meta, arrays, relation)
     if hyper is None:
         hyper = HyperSpec.trivial(relation, fitted_meta["sequence"])
-    config = KaminoConfig(params_override=None, **fitted_meta["config"])
+    config_meta = dict(fitted_meta["config"])
+    # Files saved before the engine knob existed were fitted (and had
+    # their draws pinned) under the per-row sampler: default them to
+    # engine="row" so reloading reproduces their historical outputs.
+    config_meta.setdefault("engine", "row")
+    config = KaminoConfig(params_override=None, **config_meta)
     return {
         "model": model,
         "hyper": hyper,
@@ -297,4 +309,5 @@ def load_fitted(path: str, relation) -> dict:
         "default_n": int(fitted_meta["default_n"]),
         "fit_timings": dict(fitted_meta["fit_timings"]),
         "sampling_state": fitted_meta["sampling_state"],
+        "rng_spec": fitted_meta.get("rng_spec"),
     }

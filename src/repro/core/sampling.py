@@ -178,7 +178,8 @@ class _ColumnSampler:
 
     def candidates_for_row(self, j: int, base, i: int,
                            cols: dict | None = None,
-                           indexes: dict[str, ViolationIndex] | None = None):
+                           indexes: dict[str, ViolationIndex] | None = None,
+                           used: set | None = None):
         """(working_values, original_decodes, base_logp) for row ``i``.
 
         ``working_values`` is the length-d candidate vector in working
@@ -206,7 +207,7 @@ class _ColumnSampler:
             if cols is not None:
                 extra = self._consistent_values(j, w, cols, i,
                                                 indexes=indexes)
-                fresh = self._fresh_values(j, w, cols, i)
+                fresh = self._fresh_values(j, w, cols, i, used=used)
                 if extra.size or fresh.size:
                     cand = np.concatenate([cand, extra, fresh])
             logp = -0.5 * ((cand - mu[i]) / sigma[i]) ** 2
@@ -218,7 +219,7 @@ class _ColumnSampler:
             if cols is not None:
                 extra = self._consistent_values(j, w, cols, i,
                                                 indexes=indexes)
-                fresh = self._fresh_values(j, w, cols, i)
+                fresh = self._fresh_values(j, w, cols, i, used=used)
                 if extra.size or fresh.size:
                     added = np.concatenate([extra, fresh])
                     cand = np.concatenate([cand, added])
@@ -251,6 +252,25 @@ class _ColumnSampler:
             if not others or i == 0:
                 continue
             index = indexes.get(dc.name) if indexes else None
+            if (isinstance(index, OrderViolationIndex)
+                    and target in (index.greater_attr, index.less_attr)):
+                partner = (index.less_attr
+                           if target == index.greater_attr
+                           else index.greater_attr)
+                profile = index.group_profile(
+                    {a: cols[a][i] for a in index.eq_attrs}, target,
+                    cols[partner][i], limit)
+                if profile is not None:
+                    # Fenwick-backed group: the equality-matched values
+                    # and the feasible-interval endpoints in O(log g),
+                    # identical to the scans below.
+                    matching, below_max, above_min = profile
+                    values.extend(matching)
+                    if below_max is not None:
+                        values.append(below_max)
+                    if above_min is not None:
+                        values.append(above_min)
+                    continue
             if (isinstance(index, FDViolationIndex)
                     and index.dependent == target):
                 key_row = {a: cols[a][i] for a in index.determinant}
@@ -263,10 +283,37 @@ class _ColumnSampler:
                 values.extend(matched[:limit].tolist())
             values.extend(self._order_interval(dc, target, cols, i,
                                                index=index))
-        return np.unique(np.array(values, dtype=np.float64))
+        if not values:
+            return np.empty(0, dtype=np.float64)
+        # sorted-distinct == np.unique, without the array machinery
+        # (the list rarely exceeds a dozen values).
+        return np.array(sorted({float(v) for v in values}),
+                        dtype=np.float64)
+
+    def fresh_value_tracker(self, j: int) -> set | None:
+        """Incrementally maintained used-value set for position ``j``.
+
+        :meth:`_fresh_values` needs the set of target values already
+        present in the prefix; re-deriving it with ``np.unique`` per row
+        is O(prefix) per numerical candidate row.  When the target is
+        the (numerical, non-hyper) determinant of an active hard FD, the
+        fill loops maintain this set instead — add the written value
+        after every row — and membership matches the scan exactly.
+        Returns None when tracking is unnecessary for this position.
+        """
+        w = self.wseq[j]
+        if self.hyper.is_hyper(w) or not self.wrel[w].is_numerical:
+            return None
+        is_fd_det = any(
+            dc.hard and (shape := dc.as_fd()) is not None
+            and w in shape[0]
+            for dc in self.active_at[j])
+        return set() if is_fd_det else None
 
     def _fresh_values(self, j: int, target: str, cols: dict, i: int,
-                      limit: int = 2, tries: int = 24) -> np.ndarray:
+                      limit: int = 2, tries: int = 24,
+                      used: set | None = None,
+                      uniforms: np.ndarray | None = None) -> np.ndarray:
         """Unused domain values for determinants of active hard FDs.
 
         A key-like numerical attribute (e.g. TPC-H's ``c_custkey``) gets
@@ -276,6 +323,12 @@ class _ColumnSampler:
         from the prefix are always violation-free for FD-shaped DCs, so
         a few fresh draws (deliberately not snapped) keep the hard
         constraint satisfiable.
+
+        ``used`` is the incrementally maintained prefix-value set from
+        :meth:`fresh_value_tracker` (None re-scans the prefix, the
+        legacy behaviour).  ``uniforms`` supplies ``tries`` pre-drawn
+        uniform variates in [0, 1) instead of consuming ``self.rng`` —
+        the counter-based stream hook of the blocked engine.
         """
         is_fd_det = any(
             dc.hard and (shape := dc.as_fd()) is not None
@@ -287,19 +340,31 @@ class _ColumnSampler:
         if not attr.is_numerical:
             return np.empty(0, dtype=np.float64)
         domain = attr.domain
-        used = set(np.unique(cols[target][:i]).tolist())
+        if used is None:
+            used = set(np.unique(cols[target][:i]).tolist())
+            drawn = used
+        else:
+            drawn: set = set()
         out: list[float] = []
-        for _ in range(tries):
+        for t in range(tries):
             if len(out) >= limit:
                 break
-            if domain.integer:
-                v = float(self.rng.integers(int(domain.low),
-                                            int(domain.high) + 1))
+            if uniforms is None:
+                if domain.integer:
+                    v = float(self.rng.integers(int(domain.low),
+                                                int(domain.high) + 1))
+                else:
+                    v = float(self.rng.uniform(domain.low, domain.high))
             else:
-                v = float(self.rng.uniform(domain.low, domain.high))
-            if v not in used:
+                u = float(uniforms[t])
+                if domain.integer:
+                    span = int(domain.high) - int(domain.low) + 1
+                    v = float(int(domain.low) + min(int(u * span), span - 1))
+                else:
+                    v = float(domain.low + u * (domain.high - domain.low))
+            if v not in used and v not in drawn:
                 out.append(v)
-                used.add(v)
+                drawn.add(v)
         return np.asarray(out, dtype=np.float64)
 
     def _order_interval(self, dc, target: str, cols: dict, i: int,
@@ -416,8 +481,25 @@ class _ColumnSampler:
                 continue
             if removable and not index.supports_removal:
                 continue
+            if isinstance(index, OrderViolationIndex):
+                # Fenwick-backed order groups: the sampler knows both
+                # order attributes' value grids up front (snap grids /
+                # code ranges), which is exactly the compressed universe
+                # the O(log group) probe path needs.
+                index.provide_universe(
+                    self.value_universe(index.greater_attr),
+                    self.value_universe(index.less_attr))
             out[dc.name] = index
         return out
+
+    def value_universe(self, name: str) -> np.ndarray | None:
+        """Every value attribute ``name`` can take in sampled output
+        (codes for categoricals, the snap grid for DC numericals), or
+        None when the value set is not enumerable."""
+        attr = self.relation[name]
+        if attr.is_categorical:
+            return np.arange(attr.domain.size, dtype=np.float64)
+        return self.snap_grids.get(name)
 
     def fd_indexes_for(self, j: int) -> list[FDIndex]:
         """Hard-FD indexes usable at position ``j`` (fast path).
@@ -515,34 +597,45 @@ def _write_cell(sampler: _ColumnSampler, j: int, i: int, cand_idx: int,
 
 
 def _fill_column(sampler: _ColumnSampler, j: int, cols: dict, wcols: dict,
-                 n: int) -> None:
+                 n: int, fd_indexes: list | None = None) -> None:
     rng = sampler.rng
     base = sampler.base_distribution(j, wcols, n)
     active = sampler.active_at[j]
-    fd_indexes = sampler.fd_indexes_for(j)
+    if fd_indexes is None:
+        fd_indexes = sampler.fd_indexes_for(j)
 
     if not active and not fd_indexes:
         _fill_column_vectorized(sampler, j, base, cols, wcols, n)
         return
 
+    w = sampler.wseq[j]
     vio_indexes = sampler.violation_indexes_for(j)
+    used = sampler.fresh_value_tracker(j)
     for i in range(n):
         if fd_indexes:
             forced = _forced_value(fd_indexes, cols, i)
             if forced is not None:
-                wcols[sampler.wseq[j]][i] = forced
+                wcols[w][i] = forced
+                # The forced row pins its determinant groups in *every*
+                # FD index targeting this dependent, not only the one
+                # that forced it — otherwise, with two hard FDs sharing
+                # a dependent, the second index misses forced rows and
+                # can later force a value inconsistent with them.
+                _record_fd(fd_indexes, cols, i)
                 _append_row(vio_indexes, cols, i)
+                if used is not None:
+                    used.add(float(cols[w][i]))
                 continue
         cand, decode, logp = sampler.candidates_for_row(
-            j, base, i, cols, indexes=vio_indexes)
+            j, base, i, cols, indexes=vio_indexes, used=used)
         penalty = sampler.violation_penalty(j, decode, cols, i,
                                             indexes=vio_indexes)
         choice = _log_normalise_sample(logp - penalty, rng)
         _write_cell(sampler, j, i, choice, cand, decode, cols, wcols)
-        for index in fd_indexes:
-            row = {a: cols[a][i] for a in index.determinant}
-            index.record(row, cols[index.dependent][i])
+        _record_fd(fd_indexes, cols, i)
         _append_row(vio_indexes, cols, i)
+        if used is not None:
+            used.add(float(cols[w][i]))
 
 
 def _forced_value(fd_indexes, cols: dict, i: int):
@@ -552,6 +645,13 @@ def _forced_value(fd_indexes, cols: dict, i: int):
         if value is not None:
             return value
     return None
+
+
+def _record_fd(fd_indexes, cols: dict, i: int) -> None:
+    """Pin row ``i``'s determinant -> dependent mapping in every index."""
+    for index in fd_indexes:
+        row = {a: cols[a][i] for a in index.determinant}
+        index.record(row, cols[index.dependent][i])
 
 
 def _append_row(vio_indexes: dict, cols: dict, i: int) -> None:
@@ -635,9 +735,10 @@ def ar_sample(model, relation, dcs, weights, n: int, params,
             _fill_column_vectorized(sampler, j, base, cols, wcols, n)
             continue
         vio_indexes = sampler.violation_indexes_for(j)
+        used = sampler.fresh_value_tracker(j)
         for i in range(n):
             cand, decode, logp = sampler.candidates_for_row(
-                j, base, i, cols, indexes=vio_indexes)
+                j, base, i, cols, indexes=vio_indexes, used=used)
             shifted = np.exp(logp - logp.max())
             probs = shifted / shifted.sum()
             choice = None
@@ -652,4 +753,6 @@ def ar_sample(model, relation, dcs, weights, n: int, params,
                 choice = draw  # keep the last draw if all rejected
             _write_cell(sampler, j, i, choice, cand, decode, cols, wcols)
             _append_row(vio_indexes, cols, i)
+            if used is not None:
+                used.add(float(cols[sampler.wseq[j]][i]))
     return Table(relation, cols, validate=False)

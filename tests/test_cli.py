@@ -265,3 +265,31 @@ def test_cmd_check_show_rows(tmp_path, capsys):
     assert main(["check", str(directory), "--show-rows", "2"]) == 0
     out = capsys.readouterr().out
     assert "violation: row" in out
+
+
+def test_cmd_sample_engine_and_workers_flags(tpch_bundle, tmp_path,
+                                             capsys):
+    """--workers draws are bit-identical; --engine row/blocked both work;
+    --engine at fit time persists into the model config."""
+    model_path = tmp_path / "model.npz"
+    assert main(["fit", tpch_bundle, "--epsilon", "inf",
+                 "--max-iterations", "8", "--engine", "blocked",
+                 "--out", str(model_path)]) == 0
+    schema = f"{tpch_bundle}/schema.json"
+    dcs = f"{tpch_bundle}/dcs.txt"
+    tables = {}
+    for name, extra in (("w1", []), ("w4", ["--workers", "4"]),
+                        ("row", ["--engine", "row"])):
+        out = tmp_path / name
+        assert main(["sample", str(model_path), "--schema", schema,
+                     "--dcs", dcs, "--out", str(out), "--n", "60",
+                     "--seed", "5"] + extra) == 0
+        tables[name] = load_bundle(str(out)).table
+    text = capsys.readouterr().out
+    assert "blocked engine, workers=4" in text
+    assert "row engine" in text
+    for attr in tables["w1"].relation.names:
+        np.testing.assert_array_equal(tables["w1"].column(attr),
+                                      tables["w4"].column(attr),
+                                      err_msg=attr)
+    assert tables["row"].n == 60

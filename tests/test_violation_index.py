@@ -412,3 +412,181 @@ def test_repair_skips_passes_via_index_totals():
     fixed = repair_violations(table, fds, seed=0)
     for a in rel.names:
         np.testing.assert_array_equal(fixed.column(a), table.column(a))
+
+
+# ----------------------------------------------------------------------
+# Fenwick/dense-backed order groups (PR 5)
+# ----------------------------------------------------------------------
+def _order_universes():
+    return np.arange(13, dtype=np.float64), np.arange(13, dtype=np.float64)
+
+
+@pytest.mark.parametrize("dc_key", ["ord", "ord0"])
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_order_probes_bit_identical_with_universe(dc_key, data):
+    """provide_universe must never change a count (Fenwick vs scan)."""
+    _, dcs = _dcs()
+    dc = dcs[dc_key]
+    table = _tables(data.draw)
+    cols = table.columns
+    plain = build_index(dc)
+    fast = build_index(dc)
+    assert fast.provide_universe(*_order_universes())
+    cands = np.arange(13, dtype=np.float64)
+    for i in range(table.n):
+        for target in ("u", "v"):
+            tv = {target: cands}
+            ctx = {a: cols[a][i] for a in dc.attributes if a != target}
+            want = multi_candidate_violation_counts(
+                dc, tv, ctx, {a: cols[a][:i] for a in dc.attributes})
+            np.testing.assert_array_equal(
+                plain.candidate_counts(tv, ctx), want, err_msg=f"plain {i}")
+            np.testing.assert_array_equal(
+                fast.candidate_counts(tv, ctx), want, err_msg=f"fen {i}")
+        plain.append_from(cols, i)
+        fast.append_from(cols, i)
+        assert plain.total() == fast.total() == count_violations(
+            dc, Table(table.relation,
+                      {a: c[:i + 1] for a, c in cols.items()},
+                      validate=False))
+    # removals keep both engines aligned
+    for i in range(0, table.n, 3):
+        plain.remove_from(cols, i)
+        fast.remove_from(cols, i)
+        assert plain.total() == fast.total()
+
+
+def test_order_index_forces_fenwick_class_on_larger_universe():
+    """Universes past the dense-grid cap must still be exact (true BIT)."""
+    from repro.constraints.index import _DENSE_GRID_CELLS, _Fenwick2D
+    rng = np.random.default_rng(3)
+    side = int(np.sqrt(_DENSE_GRID_CELLS)) + 8   # forces _Fenwick2D
+    dc = parse_dc("not(ti.u > tj.u and ti.v < tj.v)", "big")
+    index = build_index(dc)
+    assert index.provide_universe(np.arange(side, dtype=np.float64),
+                                  np.arange(side, dtype=np.float64))
+    n = 400
+    cols = {"u": rng.integers(0, side, n).astype(np.float64),
+            "v": rng.integers(0, side, n).astype(np.float64)}
+    cands = rng.integers(0, side, 9).astype(np.float64)
+    for i in range(n):
+        ctx = {"v": cols["v"][i]}
+        want = multi_candidate_violation_counts(
+            dc, {"u": cands}, ctx, {a: c[:i] for a, c in cols.items()})
+        np.testing.assert_array_equal(
+            index.candidate_counts({"u": cands}, ctx), want, err_msg=str(i))
+        index.append_from(cols, i)
+    group = next(iter(index._groups.values()))
+    assert isinstance(group.fen, _Fenwick2D)
+
+
+def test_order_index_off_universe_value_falls_back_exactly():
+    dc = parse_dc("not(ti.u > tj.u and ti.v < tj.v)", "off")
+    index = build_index(dc)
+    assert index.provide_universe(*_order_universes())
+    rng = np.random.default_rng(0)
+    n = 60
+    cols = {"u": rng.integers(0, 13, n).astype(np.float64),
+            "v": rng.integers(0, 13, n).astype(np.float64)}
+    cols["u"][30] = 6.5  # not on the integer universe
+    cands = np.arange(13, dtype=np.float64)
+    for i in range(n):
+        ctx = {"v": cols["v"][i]}
+        want = multi_candidate_violation_counts(
+            dc, {"u": cands}, ctx, {a: c[:i] for a, c in cols.items()})
+        np.testing.assert_array_equal(
+            index.candidate_counts({"u": cands}, ctx), want, err_msg=str(i))
+        index.append_from(cols, i)
+
+
+def test_group_profile_matches_scans():
+    """group_profile == the sampler's equality-match + interval scans."""
+    _, dcs = _dcs()
+    dc = dcs["ord"]
+    rng = np.random.default_rng(7)
+    n = 200
+    cols = {"a": rng.integers(0, 3, n).astype(np.int64),
+            "u": rng.integers(0, 13, n).astype(np.float64),
+            "v": rng.integers(0, 13, n).astype(np.float64)}
+    index = build_index(dc)
+    assert index.provide_universe(*_order_universes())
+    for i in range(n):
+        for target, partner in (("u", "v"), ("v", "u")):
+            key_row = {"a": cols["a"][i]}
+            p_now = cols[partner][i]
+            got = index.group_profile(key_row, target, p_now, limit=4)
+            mask = cols["a"][:i] == cols["a"][i]
+            t_vals = cols[target][:i][mask]
+            p_vals = cols[partner][:i][mask]
+            if got is None:
+                continue  # group too small for a grid — scan path used
+            matching, below_max, above_min = got
+            want_match = np.unique(t_vals[p_vals == p_now])[:4].tolist()
+            assert matching == want_match, (i, target)
+            below = t_vals[p_vals < p_now]
+            above = t_vals[p_vals > p_now]
+            assert below_max == (float(below.max()) if below.size
+                                 else None), (i, target)
+            assert above_min == (float(above.min()) if above.size
+                                 else None), (i, target)
+        index.append_from(cols, i)
+
+
+# ----------------------------------------------------------------------
+# Batched FD probes (PR 5)
+# ----------------------------------------------------------------------
+def test_probe_block_codes_matches_candidate_counts():
+    _, dcs = _dcs()
+    dc = dcs["fd"]          # a -> b
+    rng = np.random.default_rng(1)
+    n = 120
+    cols = {"a": rng.integers(0, 5, n).astype(np.int64),
+            "b": rng.integers(0, 4, n).astype(np.int64)}
+    index = build_index(dc)
+    index.build(cols, n)
+    codes = np.arange(4, dtype=np.int64)
+    keys = [(int(cols["a"][i]),) for i in range(n)]
+    block = index.probe_block_codes(keys, 4)
+    many = index.probe_many({"b": codes},
+                            [{"a": cols["a"][i]} for i in range(n)])
+    for i in range(n):
+        want = index.candidate_counts({"b": codes}, {"a": cols["a"][i]})
+        np.testing.assert_array_equal(block[i], want, err_msg=str(i))
+        np.testing.assert_array_equal(many[i], want, err_msg=str(i))
+
+
+def test_probe_det_codes_matches_general_path():
+    """Det-target probes (filling a determinant after its dependent)."""
+    _, dcs = _dcs()
+    dc = dcs["fd"]          # a -> b; now probe candidates for `a`
+    rng = np.random.default_rng(2)
+    n = 150
+    cols = {"a": rng.integers(0, 5, n).astype(np.int64),
+            "b": rng.integers(0, 4, n).astype(np.int64)}
+    index = build_index(dc)
+    cands = np.arange(5, dtype=np.int64)
+    for i in range(n):
+        ctx = {"b": cols["b"][i]}
+        want = multi_candidate_violation_counts(
+            dc, {"a": cands}, ctx, {x: c[:i] for x, c in cols.items()})
+        got = index.candidate_counts({"a": cands}, ctx)
+        np.testing.assert_array_equal(got, want, err_msg=str(i))
+        out = np.empty(5, dtype=np.int64)
+        assert index.probe_det_codes(cols["b"][i], 5, out=out) is out
+        np.testing.assert_array_equal(out, want, err_msg=f"out {i}")
+        index.append_from(cols, i)
+    # pair kernel agrees with the dict probe
+    for i in range(0, n, 7):
+        key = (int(cols["a"][i]),)
+        dep = int(cols["b"][i])
+        group = index._groups[key]
+        assert index.probe_pair(key, dep) == group[0] - group[1].get(dep, 0)
+
+
+def test_probe_many_falls_back_to_none_on_unanswerable_rows():
+    _, dcs = _dcs()
+    dc = dcs["gen"]
+    index = build_index(dc)
+    assert index.probe_many({"u": np.arange(3, dtype=np.float64)},
+                            [{"a": np.int64(0)}]) is None
