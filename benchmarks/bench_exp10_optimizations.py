@@ -66,7 +66,8 @@ def _bench_json_path() -> str:
     return os.environ.get("REPRO_BENCH_JSON", "BENCH_exp10.json")
 
 
-def _write_bench_json(section: str, payload: dict) -> str:
+def _write_bench_json(section: str, payload: dict,
+                      label: str | None = None) -> str:
     """Merge ``payload`` under ``section`` into the machine-readable
     benchmark file (read-modify-write so sections compose)."""
     path = _bench_json_path()
@@ -80,6 +81,8 @@ def _write_bench_json(section: str, payload: dict) -> str:
         "numpy": np.__version__,
         "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
     })
+    if label:
+        doc["meta"]["label"] = label
     doc[section] = payload
     with open(path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
@@ -127,6 +130,14 @@ def run_engine_comparison(n_rows: dict | None = None, repeats: int = 2,
         blk_s = entry["engines"]["blocked"]["seconds"]
         entry["speedup_blocked_vs_row"] = round(
             row_s / max(blk_s, 1e-9), 2)
+        # One extra traced draw (outside the timings) digests the
+        # engine's scheduling shape — lane mix, block/rescore/probe
+        # counts — into the history point.  Tracing never touches the
+        # rng, so this draw equals the timed ones bit for bit.
+        from repro.obs import RunTrace, trace_digest
+        run_trace = RunTrace()
+        fitted.sample(seed=3, trace=run_trace)
+        entry["trace_digest"] = trace_digest(run_trace.samples[0])
         out[name] = entry
     return out
 
@@ -317,6 +328,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: "
                              "$REPRO_BENCH_JSON or BENCH_exp10.json)")
+    parser.add_argument("--label", default=None,
+                        help="point label recorded in meta.label (used "
+                             "by bench-compare's trajectory table)")
     args = parser.parse_args(argv)
     if args.out:
         os.environ["REPRO_BENCH_JSON"] = args.out
@@ -327,7 +341,7 @@ def main(argv=None) -> int:
                                     max_iterations=args.max_iterations)
     print_header("Block-scheduled engine vs row engine")
     _print_engine_table(results)
-    path = _write_bench_json("exp10_engines", results)
+    path = _write_bench_json("exp10_engines", results, label=args.label)
     print(f"wrote {path}")
     return 0
 

@@ -7,6 +7,10 @@ standalone noisy histogram against the same private table, records all
 three in a :class:`~repro.privacy.ledger.PrivacyLedger`, and shows that
 RDP composition is much tighter than adding epsilons.
 
+The first synthesis is also traced with a ``RunTrace``: the fit-phase
+breakdown shows where the budget-consuming wall-clock goes (the same
+telemetry `repro-kamino fit --trace out.json` writes as JSON).
+
 Run:  python examples/budget_ledger.py
 """
 
@@ -14,6 +18,7 @@ import numpy as np
 
 from repro.core import Kamino
 from repro.datasets import load
+from repro.obs import RunTrace
 from repro.privacy import GaussianMechanism, PrivacyLedger
 
 BUDGET = 5.0
@@ -28,11 +33,15 @@ def main() -> None:
     dataset = load("adult", n=500, seed=0)
     ledger = PrivacyLedger(delta=DELTA, budget_epsilon=BUDGET)
 
-    # Release 1: a synthesis at epsilon = 1.
+    # Release 1: a synthesis at epsilon = 1, via the staged API with a
+    # trace attached — only fit() touches the budget; the draw (and the
+    # telemetry) are free post-processing.
+    trace = RunTrace(label="release-1 eps=1")
     kamino = Kamino(dataset.relation, dataset.dcs, epsilon=1.0, delta=DELTA,
                     seed=0, params_override=cap_iterations)
-    first = kamino.fit_sample(dataset.table)
-    ledger.record_kamino("synthesis eps=1", first.params)
+    fitted = kamino.fit(dataset.table, trace=trace)
+    fitted.sample(trace=trace)
+    ledger.record_kamino("synthesis eps=1", fitted.params)
     print(f"after release 1: spent={ledger.spent_epsilon():.3f}, "
           f"remaining={ledger.remaining():.3f}")
 
@@ -63,6 +72,11 @@ def main() -> None:
     print(f"\nnaive epsilon sum : {naive:.3f}")
     print(f"RDP composition   : {ledger.spent_epsilon():.3f} "
           f"(the ledger's advantage)")
+
+    # Where release 1's wall-clock went: fit phases (sequencing /
+    # params / dp_sgd / weights) plus the free draw, per column.
+    print()
+    print(trace.summary())
 
 
 if __name__ == "__main__":

@@ -9,6 +9,15 @@ as ``python -m repro.cli``)::
     repro-kamino synthesize bundle_dir/ --epsilon 1.0 --out synth_dir/
     repro-kamino evaluate bundle_dir/ synth_dir/ --alpha 1 --alpha 2
     repro-kamino ledger ledger.json
+    repro-kamino bench-compare BENCH_exp10.json --gate
+
+``fit``, ``sample``, and ``synthesize`` accept ``--trace out.json``:
+the run writes a stable-keyed telemetry document (fit-phase timers,
+per-column sampling wall-clock, engine lanes, block sizes, index probe
+counts — see :mod:`repro.obs.trace`) and prints its human-readable
+summary.  ``bench-compare`` diffs a fresh benchmark run against the
+committed ``benchmarks/history/`` store and, with ``--gate``, exits
+non-zero on a >10% rows/sec regression (see :mod:`repro.obs.bench`).
 
 Train-once / sample-many (the staged API)::
 
@@ -48,6 +57,11 @@ from repro.io.bundle import load_bundle, save_bundle
 from repro.io.dc_text import format_dc, load_dcs
 from repro.io.schema_json import (
     load_relation, relation_to_dict, save_relation,
+)
+from repro.obs import (
+    DEFAULT_HISTORY_DIR, DEFAULT_THRESHOLD, RunTrace, compare_points,
+    environment_mismatch, history_points, load_point, point_label,
+    render_compare_markdown, render_trajectory_markdown,
 )
 from repro.privacy.ledger import PrivacyLedger
 from repro.schema.domain import CategoricalDomain, NumericalDomain
@@ -187,12 +201,22 @@ def _print_privacy(fitted_or_result, budget: float, delta: float) -> None:
           f"alpha={params.best_alpha}")
 
 
+def _finish_trace(args, trace: RunTrace | None) -> None:
+    """Write and summarise the run's telemetry, when asked for."""
+    if trace is None:
+        return
+    trace.save(args.trace)
+    print(trace.summary())
+    print(f"wrote run trace to {args.trace}")
+
+
 def cmd_fit(args) -> int:
     """Train once: spend the budget, write the released model artifact."""
     bundle = load_bundle(args.bundle)
     config = _config_from_args(args)
+    trace = RunTrace(label=f"fit:{args.bundle}") if args.trace else None
     kamino = Kamino(bundle.relation, bundle.dcs, config=config)
-    fitted = kamino.fit(bundle.table)
+    fitted = kamino.fit(bundle.table, trace=trace)
     fitted.save(args.out)
     fit_seconds = sum(fitted.fit_timings.values())
     print(f"wrote fitted model to {args.out} "
@@ -200,6 +224,7 @@ def cmd_fit(args) -> int:
     if fitted.private:
         _print_privacy(fitted, config.epsilon, args.delta)
     _record_ledger(args, f"fit:{args.bundle}", fitted.private, fitted.params)
+    _finish_trace(args, trace)
     return 0
 
 
@@ -213,7 +238,9 @@ def cmd_sample(args) -> int:
     dcs = load_dcs(args.dcs, relation=relation) if args.dcs else []
     fitted = FittedKamino.load(args.model, relation, dcs)
     resolved = args.engine or fitted.config.engine
-    if args.workers != 1 and resolved == "row":
+    n_workers = fitted.config.workers if args.workers is None \
+        else args.workers
+    if n_workers != 1 and resolved == "row":
         print("error: --workers requires the blocked engine (this draw "
               f"resolves to engine={resolved!r}; pass --engine blocked "
               "or drop --workers)", file=sys.stderr)
@@ -224,28 +251,35 @@ def cmd_sample(args) -> int:
               f"{', '.join(missing)} but they were not supplied via "
               f"--dcs; the draw will not enforce them (and will differ "
               f"from the fit-time draw)", file=sys.stderr)
+    trace = RunTrace(label=f"sample:{args.model}") if args.trace else None
     result = fitted.sample(n=args.n, seed=args.seed,
-                           workers=args.workers, engine=args.engine)
+                           workers=n_workers, engine=args.engine,
+                           trace=trace)
     save_bundle(args.out, result.table, fitted.dcs)
     engine = resolved
-    workers = f", workers={args.workers}" if args.workers != 1 else ""
+    workers = f", workers={n_workers}" if n_workers != 1 else ""
     print(f"wrote synthetic bundle to {args.out} "
           f"(n={result.table.n}, sampling "
           f"{result.timings['Sam.']:.1f}s via the {engine} engine"
           f"{workers}, no privacy spend)")
+    _finish_trace(args, trace)
     return 0
 
 
 def cmd_synthesize(args) -> int:
     bundle = load_bundle(args.bundle)
     config = _config_from_args(args)
-    if args.workers != 1 and config.engine == "row":
+    n_workers = config.workers if args.workers is None else args.workers
+    if n_workers != 1 and config.engine == "row":
         print("error: --workers requires the blocked engine (drop "
               "--engine row or --workers)", file=sys.stderr)
         return 2
+    # One trace spans the whole pipeline: fit phases + the draw.
+    trace = RunTrace(label=f"synthesize:{args.bundle}") \
+        if args.trace else None
     kamino = Kamino(bundle.relation, bundle.dcs, config=config)
-    fitted = kamino.fit(bundle.table)
-    result = fitted.sample(n=args.n, workers=args.workers)
+    fitted = kamino.fit(bundle.table, trace=trace)
+    result = fitted.sample(n=args.n, workers=n_workers, trace=trace)
     if args.save_model:
         fitted.save(args.save_model)
         print(f"wrote fitted model to {args.save_model} "
@@ -257,6 +291,46 @@ def cmd_synthesize(args) -> int:
         _print_privacy(result, config.epsilon, args.delta)
     _record_ledger(args, f"synthesize:{args.bundle}", fitted.private,
                    result.params)
+    _finish_trace(args, trace)
+    return 0
+
+
+def cmd_bench_compare(args) -> int:
+    """Diff a fresh benchmark point against the committed history.
+
+    Prints the trajectory table over every committed point plus a
+    per-(dataset, engine) comparison against the newest one; with
+    ``--gate``, a comparable rows/sec drop beyond ``--threshold`` exits
+    non-zero (the CI perf gate).  Points measured at a different ``n``
+    are reported but never gated.
+    """
+    current = load_point(args.current)
+    points = history_points(args.history)
+    if not points:
+        print(f"no committed history points under {args.history}; "
+              f"nothing to compare against")
+        return 0
+    print(render_trajectory_markdown(points))
+    print()
+    base_name, baseline = points[-1]
+    rows = compare_points(current, baseline, threshold=args.threshold)
+    report = render_compare_markdown(rows, point_label(base_name, baseline),
+                                     threshold=args.threshold)
+    print(report)
+    for line in environment_mismatch(current, baseline):
+        print(f"warning: environment mismatch — {line}", file=sys.stderr)
+    if args.markdown:
+        with open(args.markdown, "w") as f:
+            f.write(render_trajectory_markdown(points) + "\n\n"
+                    + report + "\n")
+        print(f"wrote markdown report to {args.markdown}")
+    regressions = [r for r in rows if r["regression"]]
+    if regressions:
+        names = ", ".join(f"{r['dataset']}/{r['engine']} "
+                          f"({r['change']:+.1%})" for r in regressions)
+        print(f"perf regression vs {base_name}: {names}", file=sys.stderr)
+        if args.gate:
+            return 1
     return 0
 
 
@@ -326,6 +400,14 @@ def _add_budget_arguments(p: argparse.ArgumentParser) -> None:
                         "the legacy per-row stream for exact replay)")
 
 
+def _add_trace_argument(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="JSON",
+                   help="write run telemetry (phase timers, per-column "
+                        "sampling stats, index probe counts) to this "
+                        "JSON file and print its summary; never changes "
+                        "the run's output")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-kamino",
@@ -364,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True,
                    help="output .npz model file")
     _add_budget_arguments(p)
+    _add_trace_argument(p)
     p.set_defaults(fn=cmd_fit)
 
     p = sub.add_parser("sample",
@@ -380,13 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None,
                    help="draw seed (default: reproduce the fit-time "
                         "draw, given the same --dcs)")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=int, default=None,
                    help="shard the blocked engine's unconstrained "
                         "column passes over N threads (output is "
-                        "bit-identical for any worker count)")
+                        "bit-identical for any worker count; default: "
+                        "the fitted config's workers)")
     p.add_argument("--engine", choices=("blocked", "row"), default=None,
                    help="override the engine the model was fitted "
                         "with for this draw")
+    _add_trace_argument(p)
     p.set_defaults(fn=cmd_sample)
 
     p = sub.add_parser("synthesize",
@@ -399,10 +484,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--save-model", default=None, metavar="MODEL",
                    help="also persist the fitted model for later "
                         "'sample' runs")
-    p.add_argument("--workers", type=int, default=1,
+    p.add_argument("--workers", type=int, default=None,
                    help="thread workers for the blocked engine's "
-                        "sampling pass")
+                        "sampling pass (default: the config's workers)")
     _add_budget_arguments(p)
+    _add_trace_argument(p)
     p.set_defaults(fn=cmd_synthesize)
 
     p = sub.add_parser("evaluate",
@@ -419,6 +505,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ledger", help="print a privacy ledger summary")
     p.add_argument("ledger")
     p.set_defaults(fn=cmd_ledger)
+
+    p = sub.add_parser("bench-compare",
+                       help="diff a benchmark run against the committed "
+                            "perf history; --gate fails on regression")
+    p.add_argument("current", nargs="?", default="BENCH_exp10.json",
+                   help="fresh benchmark JSON (default: BENCH_exp10.json)")
+    p.add_argument("--history", default=DEFAULT_HISTORY_DIR,
+                   help="committed history directory "
+                        "(default: benchmarks/history)")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="rows/sec drop that counts as a regression "
+                        "(default: 0.10)")
+    p.add_argument("--gate", action="store_true",
+                   help="exit non-zero when any comparable "
+                        "dataset/engine regressed beyond the threshold")
+    p.add_argument("--markdown", default=None, metavar="MD",
+                   help="also write the trajectory + comparison report "
+                        "to this markdown file")
+    p.set_defaults(fn=cmd_bench_compare)
     return parser
 
 

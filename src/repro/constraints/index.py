@@ -73,6 +73,17 @@ class ViolationIndex:
 
     def __init__(self, dc: DenialConstraint):
         self.dc = dc
+        #: Optional telemetry hook: a mutable mapping (e.g. the
+        #: ``probes`` dict of a :class:`repro.obs.trace.ColumnTrace`)
+        #: that probe methods bump by method name when attached.  None
+        #: (the default) keeps the probes allocation- and branch-cheap —
+        #: the zero-cost-when-off contract of :mod:`repro.obs`.
+        self.counters: dict | None = None
+
+    def _bump(self, key: str, inc: int = 1) -> None:
+        c = self.counters
+        if c is not None:
+            c[key] = c.get(key, 0) + inc
 
     # -- lifecycle -----------------------------------------------------
     def reset(self) -> None:
@@ -132,6 +143,7 @@ class ViolationIndex:
         vectorize the hot layouts (see
         :meth:`FDViolationIndex.probe_block_codes`).
         """
+        self._bump("probe_many")
         shared = isinstance(target_values, dict)
         out = []
         for r, context in enumerate(contexts):
@@ -250,6 +262,7 @@ class FDViolationIndex(ViolationIndex):
         the cache cannot represent this index (composite or non-code
         determinant).  ``out`` receives the counts without allocating.
         """
+        self._bump("probe_det_codes")
         if self._det_sizes is None or self._det_sizes.shape[0] != size:
             self._det_sizes = None
             self._det_by_dep = None
@@ -271,6 +284,7 @@ class FDViolationIndex(ViolationIndex):
         """New violations if ``(key, dep)`` were appended — the O(1)
         kernel behind every probe; ``key``/``dep`` are python scalars
         (as produced by ``.tolist()`` on the column arrays)."""
+        self._bump("probe_pair")
         group = self._groups.get(key)
         if group is None:
             return 0
@@ -321,6 +335,7 @@ class FDViolationIndex(ViolationIndex):
 
     def candidate_counts(self, target_values: dict | None,
                          context: dict) -> np.ndarray | None:
+        self._bump("candidate_counts")
         if not target_values:
             row = {a: context[a] for a in self.dc.attributes}
             key = self._key(row)
@@ -390,6 +405,7 @@ class FDViolationIndex(ViolationIndex):
         probes (a group's histogram usually has far fewer distinct
         dependents than the domain has codes).
         """
+        self._bump("probe_block_codes")
         out = np.empty((len(keys), size), dtype=np.int64)
         for r, key in enumerate(keys):
             group = self._groups.get(key)
@@ -803,6 +819,7 @@ class OrderViolationIndex(ViolationIndex):
 
     def candidate_counts(self, target_values: dict | None,
                          context: dict) -> np.ndarray | None:
+        self._bump("candidate_counts")
         if target_values:
             if any(a in target_values for a in self.eq_attrs):
                 return None  # group varies per candidate: fall back

@@ -45,6 +45,7 @@ Entry point: :func:`synthesize_engine` — the blocked counterpart of
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -244,7 +245,7 @@ def _fill_unconstrained(sampler: _ColumnSampler, j: int, base,
                         layout: _Layout, noise_key: tuple, cols: dict,
                         wcols: dict, n: int,
                         pool: ThreadPoolExecutor | None,
-                        workers: int) -> None:
+                        workers: int, tracer=None) -> None:
     def run(lo: int, hi: int) -> None:
         # Each shard builds its own noise view: streams are keyed by
         # fixed chunks, so regeneration is bit-identical and the shard
@@ -253,12 +254,16 @@ def _fill_unconstrained(sampler: _ColumnSampler, j: int, base,
                             _CellNoise(*noise_key), cols, wcols, lo, hi)
 
     if pool is None or n < max(2 * _MIN_SHARD_ROWS, workers):
+        if tracer is not None:
+            tracer.count("shards")
         run(0, n)
         return
     bounds = np.linspace(0, n, workers + 1).astype(int)
-    list(pool.map(lambda se: run(se[0], se[1]),
-                  [(int(bounds[k]), int(bounds[k + 1]))
-                   for k in range(workers) if bounds[k] < bounds[k + 1]]))
+    spans = [(int(bounds[k]), int(bounds[k + 1]))
+             for k in range(workers) if bounds[k] < bounds[k + 1]]
+    if tracer is not None:
+        tracer.count("shards", len(spans))
+    list(pool.map(lambda se: run(se[0], se[1]), spans))
 
 
 # ----------------------------------------------------------------------
@@ -328,7 +333,7 @@ class _ColumnPass:
 
     def __init__(self, sampler: _ColumnSampler, j: int, base,
                  layout: _Layout, noise: _CellNoise, cols: dict,
-                 wcols: dict, fd_indexes: list):
+                 wcols: dict, fd_indexes: list, tracer=None):
         self.sampler = sampler
         self.j = j
         self.base = base
@@ -339,6 +344,13 @@ class _ColumnPass:
         self.fd_indexes = fd_indexes
         self.w = sampler.wseq[j]
         self.vio = sampler.violation_indexes_for(j)
+        self.tracer = tracer
+        if tracer is not None:
+            # Route every index probe into the column's probe counters;
+            # constrained passes are single-threaded, so a plain dict
+            # is race-free.
+            for index in self.vio.values():
+                index.counters = tracer.probes
         self.used = sampler.fresh_value_tracker(j)
         self.active = sampler.active_at[j]
         if layout.kind == "cat":
@@ -510,6 +522,9 @@ class _ColumnPass:
         for any block size.
         """
         specs = self._fd_lane_specs()
+        if self.tracer is not None:
+            self.tracer.mode = ("cat-fd-lane" if specs is not None
+                                else "cat-generic")
         if specs is not None:
             self._fill_cat_fd_lane(n, max_block, specs)
         else:
@@ -517,9 +532,12 @@ class _ColumnPass:
 
     def _fill_cat_generic(self, n: int, max_block: int) -> None:
         cols, w = self.cols, self.w
+        tracer = self.tracer
         V = self.layout.d
         for lo in range(0, n, max_block):
             hi = min(lo + max_block, n)
+            if tracer is not None:
+                tracer.observe_block(hi - lo)
             rows = np.arange(lo, hi, dtype=np.int64)
             u = self.noise.rows(lo, hi)
             logp = self.base[1][lo:hi]
@@ -532,11 +550,15 @@ class _ColumnPass:
                 if self.fd_indexes:
                     forced = _forced_value(self.fd_indexes, cols, i)
                     if forced is not None:
+                        if tracer is not None:
+                            tracer.count("forced_rows")
                         self.wcols[w][i] = forced
                         self._fold_row(i)
                         continue
                 pick = int(picks[r])
                 if self._pen_at(i, pick) != penalty[r, pick]:
+                    if tracer is not None:
+                        tracer.count("rescored_rows")
                     pick = self._rescore_cat_row(i, logp[r], g[r])
                 self._write_cat(i, pick)
                 self._fold_row(i)
@@ -593,11 +615,14 @@ class _ColumnPass:
         rescore decisions carry no float subtleties at all.
         """
         cols, w = self.cols, self.w
+        tracer = self.tracer
         V = self.layout.d
         logp_all = self.base[1]
         for lo in range(0, n, max_block):
             hi = min(lo + max_block, n)
             B = hi - lo
+            if tracer is not None:
+                tracer.observe_block(B)
             u = self.noise.rows(lo, hi)
             g = _gumbel(u[:, :V])
             scores = logp_all[lo:hi] + g
@@ -626,6 +651,8 @@ class _ColumnPass:
                 if self.fd_indexes:
                     forced = _forced_value(self.fd_indexes, cols, i)
                     if forced is not None:
+                        if tracer is not None:
+                            tracer.count("forced_rows")
                         self.wcols[w][i] = forced
                         pick = int(cols[w][i])
                         for weight, index, mode, side, counts in per_dc:
@@ -648,6 +675,8 @@ class _ColumnPass:
                     # Re-score vs the live state, same op order as the
                     # block pass so kept and re-scored rows are the
                     # same computation at B=1.
+                    if tracer is not None:
+                        tracer.count("rescored_rows")
                     s = logp_all[i] + g[r]
                     for weight, index, mode, side, counts in per_dc:
                         if mode == "dep":
@@ -777,6 +806,9 @@ class _ColumnPass:
         """
         sampler, layout = self.sampler, self.layout
         w, cols = self.w, self.cols
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.count("sequential_rows", n)
         d = layout.d
         j = self.j
         gum_off, fresh_off = layout.gumbel_off, layout.fresh_off
@@ -785,6 +817,8 @@ class _ColumnPass:
             if self.fd_indexes:
                 forced = _forced_value(self.fd_indexes, cols, i)
                 if forced is not None:
+                    if tracer is not None:
+                        tracer.count("forced_rows")
                     self.wcols[w][i] = forced
                     self._fold_row(i)
                     continue
@@ -833,11 +867,16 @@ class _ColumnPass:
     # -- block driver (numerical targets) ------------------------------
     def process_block(self, lo: int, hi: int) -> None:
         cols, w = self.cols, self.w
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.observe_block(hi - lo)
         score_rows = []
         if self.fd_indexes:
             for i in range(lo, hi):
                 forced = _forced_value(self.fd_indexes, cols, i)
                 if forced is not None:
+                    if tracer is not None:
+                        tracer.count("forced_rows")
                     self.wcols[w][i] = forced
                 else:
                     score_rows.append(i)
@@ -860,7 +899,8 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
                       use_violation_index: bool = True,
                       workers: int = 1,
                       max_block_rows: int = MAX_BLOCK_ROWS,
-                      noise_chunk: int = NOISE_CHUNK) -> Table:
+                      noise_chunk: int = NOISE_CHUNK,
+                      trace=None) -> Table:
     """Blocked-engine counterpart of :func:`repro.core.sampling.synthesize`.
 
     The output is a deterministic function of the arguments — in
@@ -869,6 +909,14 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
     per-cell noise stream; ``noise_chunk`` is the persisted chunking of
     those streams (model format v2 records it so reloaded models replay
     their draws).
+
+    ``trace`` (a :class:`repro.obs.trace.SampleTrace`) records one
+    :class:`~repro.obs.trace.ColumnTrace` per working column: wall
+    clock, lane (``unconstrained``/``cat-fd-lane``/``cat-generic``/
+    ``num-blocked``/``num-sequential``), block sizes, re-scored/forced
+    rows, and index probe counts.  Tracing reads no randomness — a
+    traced draw is bit-identical to an untraced one — and ``None``
+    costs nothing.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -885,18 +933,25 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
     pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
     try:
         for j in range(len(sampler.wseq)):
+            col_trace = None
+            if trace is not None:
+                col_trace = trace.column(sampler.wseq[j])
+                col_start = time.perf_counter()
             base = sampler.base_distribution(j, wcols, n)
             layout = _layout_for(sampler, j, base)
             noise_key = (master, 2 * j, layout.stride, noise_chunk, n)
             active = sampler.active_at[j]
             fd_indexes = sampler.fd_indexes_for(j)
             if not active and not fd_indexes:
+                if col_trace is not None:
+                    col_trace.mode = "unconstrained"
                 _fill_unconstrained(sampler, j, base, layout, noise_key,
-                                    cols, wcols, n, pool, workers)
+                                    cols, wcols, n, pool, workers,
+                                    tracer=col_trace)
             elif n > 0:
                 col = _ColumnPass(sampler, j, base, layout,
                                   _CellNoise(*noise_key), cols, wcols,
-                                  fd_indexes)
+                                  fd_indexes, tracer=col_trace)
                 if layout.kind == "cat":
                     # Candidates are the fixed code domain: score whole
                     # blocks optimistically, validate per row.
@@ -907,11 +962,17 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
                     # rows together.
                     specs = _conflict_keys(sampler, j)
                     if specs is None:
+                        if col_trace is not None:
+                            col_trace.mode = "num-sequential"
                         col.fill_numeric_sequential(n)
                     else:
+                        if col_trace is not None:
+                            col_trace.mode = "num-blocked"
                         for lo, hi in _conflict_blocks(specs, cols, n,
                                                        max_block_rows):
                             col.process_block(lo, hi)
+            if col_trace is not None:
+                col_trace.finish(time.perf_counter() - col_start, n)
             if params.mcmc_m > 0:
                 # The refinement is inherently sequential; it draws from
                 # its own keyed stream so the column passes above stay

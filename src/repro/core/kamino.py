@@ -44,6 +44,7 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -114,6 +115,18 @@ class KaminoConfig:
         per-row loop, bit-exact replay of pre-engine outputs).  Both
         sample the same distribution; they differ only in rng scheme
         and speed.
+    workers:
+        Default thread count for :meth:`FittedKamino.sample` (the
+        per-call ``workers=`` argument overrides it).  Only the blocked
+        engine uses it — unconstrained column passes are sharded over a
+        thread pool — and the drawn instance is bit-identical for any
+        worker count (a scheduling knob, never a semantics knob).
+    max_block_rows:
+        Cap on the blocked engine's conflict-free block length.  Larger
+        blocks amortise more Python per probe but widen the peak
+        penalty matrices (memory ~ ``max_block_rows x domain``).  Like
+        ``workers`` this is pure scheduling: any value yields the same
+        draw.  Default 512 (:data:`repro.core.engine.MAX_BLOCK_ROWS`).
     """
 
     epsilon: float
@@ -129,6 +142,8 @@ class KaminoConfig:
     constraint_aware_sampling: bool = True
     weight_estimator: str = "matrix"
     engine: str = "blocked"
+    workers: int = 1
+    max_block_rows: int = 512
 
     def __post_init__(self):
         object.__setattr__(self, "epsilon", float(self.epsilon))
@@ -152,6 +167,11 @@ class KaminoConfig:
         if self.engine not in _ENGINES:
             raise ValueError(
                 f"engine must be one of {_ENGINES}, got {self.engine!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_block_rows < 1:
+            raise ValueError(
+                f"max_block_rows must be >= 1, got {self.max_block_rows}")
 
     @property
     def private(self) -> bool:
@@ -248,8 +268,8 @@ class FittedKamino:
                             timings=timings)
 
     def sample(self, n: int | None = None, seed: int | None = None,
-               workers: int = 1, engine: str | None = None,
-               ) -> KaminoResult:
+               workers: int | None = None, engine: str | None = None,
+               trace=None) -> KaminoResult:
         """Draw a synthetic instance (Algorithm 3, post-processing).
 
         ``n`` defaults to the fitted input size.  ``seed=None`` draws
@@ -260,15 +280,33 @@ class FittedKamino:
         for distinct draws.
 
         ``engine`` overrides the fitted ``config.engine`` for this draw:
-        ``"blocked"`` is the block-scheduled vectorized engine
-        (deterministic per seed regardless of scheduling), ``"row"`` the
-        legacy loop for exact replay of pre-engine outputs.  ``workers``
-        shards the blocked engine's unconstrained column passes over a
-        thread pool — output is bit-identical for any worker count.
+        ``"blocked"`` is the block-scheduled vectorized engine,
+        ``"row"`` the legacy loop for exact replay of pre-engine
+        outputs.  ``workers`` (default: ``config.workers``) shards the
+        blocked engine's unconstrained column passes over a thread pool.
+
+        **Determinism guarantees.**  For a given fitted model, the drawn
+        instance is a pure function of ``(n, seed, engine)``:
+
+        * the blocked engine keys every cell's noise off counter-based
+          Philox streams, so ``workers``, ``config.max_block_rows``, and
+          ``config.use_violation_index`` are pure scheduling knobs —
+          any combination yields bit-identical output;
+        * the row engine replays the single legacy numpy stream, so
+          equal seeds give equal draws (and ``seed=None`` resumes the
+          fit-time rng, reproducing the fused pipeline exactly);
+        * passing a ``trace`` (see below) never touches any rng: a
+          traced draw is bit-identical to an untraced one.
+
+        ``trace`` is an optional :class:`repro.obs.trace.RunTrace`; the
+        draw appends one :class:`~repro.obs.trace.SampleTrace` with
+        per-column wall-clock, engine lanes, block sizes, and
+        violation-index probe counts.
         """
         n_out = self.default_n if n is None else int(n)
         cfg = self.config
         engine = cfg.engine if engine is None else engine
+        workers = cfg.workers if workers is None else int(workers)
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, "
                              f"got {engine!r}")
@@ -276,6 +314,10 @@ class FittedKamino:
             raise ValueError("workers != 1 requires engine='blocked' "
                              "(the row engine is sequential)")
         sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
+        run_trace = None
+        if trace is not None:
+            run_trace = trace.begin_sample(engine, n_out, seed,
+                                           workers=workers)
         start = time.perf_counter()
         if engine == "blocked":
             from repro.core.engine import NOISE_CHUNK, synthesize_engine
@@ -294,29 +336,44 @@ class FittedKamino:
                 n_out, self.params, master, hyper=self.hyper,
                 use_fd_lookup=cfg.use_fd_lookup,
                 use_violation_index=cfg.use_violation_index,
-                workers=workers, noise_chunk=chunk)
+                workers=workers, max_block_rows=cfg.max_block_rows,
+                noise_chunk=chunk, trace=run_trace)
         else:
             rng = self._sampling_rng(seed)
             synthetic = synthesize(
                 self.model, self.relation, sampled_dcs, self.weights,
                 n_out, self.params, rng, hyper=self.hyper,
                 use_fd_lookup=cfg.use_fd_lookup,
-                use_violation_index=cfg.use_violation_index)
-        return self._result(synthetic, time.perf_counter() - start)
+                use_violation_index=cfg.use_violation_index,
+                trace=run_trace)
+        seconds = time.perf_counter() - start
+        if run_trace is not None:
+            run_trace.finish(seconds)
+        return self._result(synthetic, seconds)
 
     def sample_ar(self, n: int | None = None, seed: int | None = None,
-                  max_tries: int = 300) -> KaminoResult:
-        """Accept-reject draw (the Experiment 6 sampler variant)."""
+                  max_tries: int = 300, trace=None) -> KaminoResult:
+        """Accept-reject draw (the Experiment 6 sampler variant).
+
+        ``trace`` records a run-level :class:`SampleTrace` (engine
+        ``"ar"``, no per-column breakdown).
+        """
         n_out = self.default_n if n is None else int(n)
         rng = self._sampling_rng(seed, offset=1)
         cfg = self.config
         sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
+        run_trace = None
+        if trace is not None:
+            run_trace = trace.begin_sample("ar", n_out, seed)
         start = time.perf_counter()
         synthetic = ar_sample(
             self.model, self.relation, sampled_dcs, self.weights, n_out,
             self.params, rng, hyper=self.hyper, max_tries=max_tries,
             use_violation_index=cfg.use_violation_index)
-        return self._result(synthetic, time.perf_counter() - start)
+        seconds = time.perf_counter() - start
+        if run_trace is not None:
+            run_trace.finish(seconds)
+        return self._result(synthetic, seconds)
 
     # ------------------------------------------------------------------
     def save(self, path: str) -> None:
@@ -386,6 +443,8 @@ class Kamino:
                  constraint_aware_sampling: bool = _UNSET,
                  weight_estimator: str = _UNSET,
                  engine: str = _UNSET,
+                 workers: int = _UNSET,
+                 max_block_rows: int = _UNSET,
                  config: KaminoConfig | None = None):
         knobs = {
             name: value for name, value in (
@@ -400,6 +459,8 @@ class Kamino:
                 ("constraint_aware_sampling", constraint_aware_sampling),
                 ("weight_estimator", weight_estimator),
                 ("engine", engine),
+                ("workers", workers),
+                ("max_block_rows", max_block_rows),
             ) if value is not _UNSET}
         if config is None:
             if epsilon is None:
@@ -437,7 +498,8 @@ class Kamino:
 
     # ------------------------------------------------------------------
     def fit(self, table: Table,
-            weights: dict[str, float] | None = None) -> FittedKamino:
+            weights: dict[str, float] | None = None,
+            trace=None) -> FittedKamino:
         """Run the budget-consuming phases on the private ``table``.
 
         Sequencing (Algorithm 4), parameter search (Algorithm 6), model
@@ -446,72 +508,85 @@ class Kamino:
         once.  Pass known DC ``weights`` to skip Algorithm 5 (the
         paper's "known weights" setting of §4).  The returned
         :class:`FittedKamino` samples any number of instances for free.
+
+        ``trace`` is an optional :class:`repro.obs.trace.RunTrace`; the
+        four phases are timed under the canonical names ``sequencing``,
+        ``params``, ``dp_sgd``, ``weights``.  Tracing never touches the
+        pipeline rng, so a traced fit equals an untraced one.
         """
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         timings: dict[str, float] = {}
 
+        def _phase(name: str):
+            return trace.phase(name) if trace is not None else nullcontext()
+
         # -- Sequencing (Algorithm 4) + structure ----------------------
         start = time.perf_counter()
-        if cfg.random_sequence:
-            sequence = list(self.relation.names)
-            np.random.default_rng(cfg.seed + 17).shuffle(sequence)
-        else:
-            sequence = sequence_attributes(self.relation, self.dcs)
-        independent = self._independent_attrs(sequence)
-        hyper = self._build_hyper(sequence, independent)
+        with _phase("sequencing"):
+            if cfg.random_sequence:
+                sequence = list(self.relation.names)
+                np.random.default_rng(cfg.seed + 17).shuffle(sequence)
+            else:
+                sequence = sequence_attributes(self.relation, self.dcs)
+            independent = self._independent_attrs(sequence)
+            hyper = self._build_hyper(sequence, independent)
         timings["Seq."] = time.perf_counter() - start
 
         # -- Parameter search (Algorithm 6) ----------------------------
-        learn_weights = weights is None and any(
-            not dc.hard for dc in self.dcs)
-        n_hist = 1 + len(independent)
-        n_submodels = max(len(hyper.working_sequence) - 1 - len(independent),
-                          0)
-        if self.private:
-            params = search_dp_params(
-                cfg.epsilon, cfg.delta, hyper.working_relation,
-                hyper.working_sequence, table.n,
-                learn_weights=learn_weights, n_hist=n_hist,
-                n_submodels=n_submodels)
-        else:
-            params = KaminoParams(
-                epsilon=math.inf, delta=cfg.delta, n=table.n,
-                k=len(hyper.working_sequence),
-                iterations=max(1, (2 * table.n) // 32),
-                learn_weights=learn_weights, n_hist=n_hist,
-                n_submodels=n_submodels)
-        if cfg.params_override is not None:
-            cfg.params_override(params)
+        with _phase("params"):
+            learn_weights = weights is None and any(
+                not dc.hard for dc in self.dcs)
+            n_hist = 1 + len(independent)
+            n_submodels = max(
+                len(hyper.working_sequence) - 1 - len(independent), 0)
             if self.private:
-                achieved, alpha = params.accounted_epsilon()
-                if achieved > cfg.epsilon * (1 + 1e-9):
-                    raise ValueError(
-                        f"params_override broke the budget: "
-                        f"{achieved:.4f} > {cfg.epsilon}")
-                params.achieved_epsilon = achieved
-                params.best_alpha = alpha
+                params = search_dp_params(
+                    cfg.epsilon, cfg.delta, hyper.working_relation,
+                    hyper.working_sequence, table.n,
+                    learn_weights=learn_weights, n_hist=n_hist,
+                    n_submodels=n_submodels)
+            else:
+                params = KaminoParams(
+                    epsilon=math.inf, delta=cfg.delta, n=table.n,
+                    k=len(hyper.working_sequence),
+                    iterations=max(1, (2 * table.n) // 32),
+                    learn_weights=learn_weights, n_hist=n_hist,
+                    n_submodels=n_submodels)
+            if cfg.params_override is not None:
+                cfg.params_override(params)
+                if self.private:
+                    achieved, alpha = params.accounted_epsilon()
+                    if achieved > cfg.epsilon * (1 + 1e-9):
+                        raise ValueError(
+                            f"params_override broke the budget: "
+                            f"{achieved:.4f} > {cfg.epsilon}")
+                    params.achieved_epsilon = achieved
+                    params.best_alpha = alpha
 
         # -- Model training (Algorithm 2) ------------------------------
         start = time.perf_counter()
-        working = hyper.encode_table(table)
-        model = train_model(
-            working, hyper.working_relation, hyper.working_sequence, params,
-            rng, independent_attrs=independent,
-            parallel=cfg.parallel_training, private=self.private)
+        with _phase("dp_sgd"):
+            working = hyper.encode_table(table)
+            model = train_model(
+                working, hyper.working_relation, hyper.working_sequence,
+                params, rng, independent_attrs=independent,
+                parallel=cfg.parallel_training, private=self.private)
         timings["Tra."] = time.perf_counter() - start
 
         # -- DC weights (Algorithm 5) -----------------------------------
         start = time.perf_counter()
-        if weights is None:
-            weights = learn_dc_weights(table, self.dcs, sequence, params,
-                                       rng, private=self.private,
-                                       estimator=cfg.weight_estimator)
-        else:
-            weights = dict(weights)
-            for dc in self.dcs:
-                weights.setdefault(dc.name, math.inf if dc.hard
-                                   else params.weight_init)
+        with _phase("weights"):
+            if weights is None:
+                weights = learn_dc_weights(table, self.dcs, sequence,
+                                           params, rng,
+                                           private=self.private,
+                                           estimator=cfg.weight_estimator)
+            else:
+                weights = dict(weights)
+                for dc in self.dcs:
+                    weights.setdefault(dc.name, math.inf if dc.hard
+                                       else params.weight_init)
         timings["DC.W."] = time.perf_counter() - start
 
         from repro.core.engine import ENGINE_RNG_SPEC

@@ -63,7 +63,7 @@ _PERSISTED_CONFIG = ("epsilon", "delta", "seed", "group_max_domain",
                      "large_domain_threshold", "use_fd_lookup",
                      "use_violation_index", "parallel_training",
                      "random_sequence", "constraint_aware_sampling",
-                     "weight_estimator", "engine")
+                     "weight_estimator", "engine", "workers", "max_block_rows")
 
 
 def _histogram_meta(hist: HistogramModel) -> dict:

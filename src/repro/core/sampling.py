@@ -45,6 +45,7 @@ sample-many service shape.
 from __future__ import annotations
 
 import math
+import time
 
 import numpy as np
 
@@ -523,7 +524,8 @@ class _ColumnSampler:
 def synthesize(model, relation, dcs, weights, n: int, params,
                rng: np.random.Generator, hyper: HyperSpec | None = None,
                use_fd_lookup: bool = False,
-               use_violation_index: bool = True) -> Table:
+               use_violation_index: bool = True,
+               trace=None) -> Table:
     """Algorithm 3: sample a synthetic instance of ``n`` rows.
 
     Parameters
@@ -549,6 +551,12 @@ def synthesize(model, relation, dcs, weights, n: int, params,
         violation indexes (O(group) per probe) instead of re-scanning
         the sampled prefix.  Counts are bit-identical either way; this
         switch exists for benchmarking and as a fallback.
+    trace:
+        Optional :class:`repro.obs.trace.SampleTrace`: records one
+        :class:`~repro.obs.trace.ColumnTrace` per working column (wall
+        clock, lane, forced rows, index probe counts).  Tracing never
+        touches the rng — a traced draw is bit-identical to an untraced
+        one — and None (the default) costs nothing.
     """
     if hyper is None:
         hyper = HyperSpec.trivial(relation, model.sequence)
@@ -559,9 +567,15 @@ def synthesize(model, relation, dcs, weights, n: int, params,
     wcols = _allocate_working(sampler, cols, n)
 
     for j in range(len(sampler.wseq)):
-        _fill_column(sampler, j, cols, wcols, n)
+        col_trace = None
+        if trace is not None:
+            col_trace = trace.column(sampler.wseq[j])
+            col_start = time.perf_counter()
+        _fill_column(sampler, j, cols, wcols, n, tracer=col_trace)
         if params.mcmc_m > 0:
             _mcmc_resample(sampler, j, cols, wcols, n, params.mcmc_m)
+        if col_trace is not None:
+            col_trace.finish(time.perf_counter() - col_start, n)
     return Table(relation, cols, validate=False)
 
 
@@ -597,7 +611,8 @@ def _write_cell(sampler: _ColumnSampler, j: int, i: int, cand_idx: int,
 
 
 def _fill_column(sampler: _ColumnSampler, j: int, cols: dict, wcols: dict,
-                 n: int, fd_indexes: list | None = None) -> None:
+                 n: int, fd_indexes: list | None = None,
+                 tracer=None) -> None:
     rng = sampler.rng
     base = sampler.base_distribution(j, wcols, n)
     active = sampler.active_at[j]
@@ -605,16 +620,25 @@ def _fill_column(sampler: _ColumnSampler, j: int, cols: dict, wcols: dict,
         fd_indexes = sampler.fd_indexes_for(j)
 
     if not active and not fd_indexes:
+        if tracer is not None:
+            tracer.mode = "iid-vectorized"
         _fill_column_vectorized(sampler, j, base, cols, wcols, n)
         return
 
     w = sampler.wseq[j]
     vio_indexes = sampler.violation_indexes_for(j)
     used = sampler.fresh_value_tracker(j)
+    if tracer is not None:
+        tracer.mode = "sequential"
+        tracer.count("sequential_rows", n)
+        for index in vio_indexes.values():
+            index.counters = tracer.probes
     for i in range(n):
         if fd_indexes:
             forced = _forced_value(fd_indexes, cols, i)
             if forced is not None:
+                if tracer is not None:
+                    tracer.count("forced_rows")
                 wcols[w][i] = forced
                 # The forced row pins its determinant groups in *every*
                 # FD index targeting this dependent, not only the one

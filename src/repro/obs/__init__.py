@@ -1,0 +1,28 @@
+"""Run telemetry and perf-history tooling (the observability layer).
+
+* :mod:`repro.obs.trace` — :class:`RunTrace` and friends: phase
+  timers, per-column counters/gauges, and probe counts threaded through
+  fit and both sampling engines behind a zero-cost-when-off hook.
+* :mod:`repro.obs.bench` — the committed ``benchmarks/history/`` store,
+  point comparison with a regression gate, and markdown rendering
+  (surfaced as ``repro-kamino bench-compare``).
+"""
+
+from repro.obs.trace import (
+    FIT_PHASES, TRACE_VERSION, ColumnTrace, RunTrace, SampleTrace,
+)
+from repro.obs.bench import (
+    DEFAULT_HISTORY_DIR, DEFAULT_THRESHOLD, compare_points,
+    environment_mismatch, extract_metrics, history_points, load_point,
+    point_label, render_compare_markdown, render_trajectory_markdown,
+    trace_digest,
+)
+
+__all__ = [
+    "FIT_PHASES", "TRACE_VERSION", "ColumnTrace", "RunTrace",
+    "SampleTrace", "DEFAULT_HISTORY_DIR", "DEFAULT_THRESHOLD",
+    "compare_points", "environment_mismatch", "extract_metrics",
+    "history_points", "load_point", "point_label",
+    "render_compare_markdown", "render_trajectory_markdown",
+    "trace_digest",
+]

@@ -1,0 +1,200 @@
+"""Committed perf history and regression gating.
+
+``benchmarks/bench_exp10_optimizations.py`` writes a machine-readable
+``BENCH_exp10.json`` on every run (per-dataset, per-engine wall-clock
+and rows/sec, plus a trace digest of the blocked engine's draw).  This
+module makes that trajectory *real* instead of ephemeral:
+
+* ``benchmarks/history/`` holds one committed JSON point per PR
+  (sortable file names, e.g. ``0006-run-telemetry.json``) — the same
+  document the benchmark emits, so promoting a point is one ``cp``;
+* :func:`compare_points` diffs a fresh benchmark run against the last
+  committed point and flags any dataset/engine whose rows/sec dropped
+  by more than the threshold (default 10%);
+* :func:`render_compare_markdown` / :func:`render_trajectory_markdown`
+  render the comparison and the whole trajectory as markdown tables;
+* the ``repro-kamino bench-compare`` CLI wires it together, and
+  ``--gate`` turns a regression into a non-zero exit for CI.
+
+Comparisons are guarded: a point whose row count ``n`` differs from the
+baseline's is reported but never gated (rows/sec at different scales is
+not apples-to-apples), and a recorded machine/python mismatch demotes
+the verdict to a warning in the report (the gate still applies — CI
+runners are assumed homogeneous; regenerate the baseline when they
+change).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from glob import glob
+
+#: Default regression threshold: fail on >10% rows/sec drop.
+DEFAULT_THRESHOLD = 0.10
+
+#: Default location of the committed history store.
+DEFAULT_HISTORY_DIR = os.path.join("benchmarks", "history")
+
+#: The benchmark section bench-compare reads.
+ENGINE_SECTION = "exp10_engines"
+
+
+def load_point(path: str) -> dict:
+    """Read one benchmark document (``BENCH_exp10.json`` schema)."""
+    with open(path) as f:
+        return json.load(f)
+
+
+def history_points(directory: str) -> list[tuple[str, dict]]:
+    """All committed points, oldest first (sorted by file name)."""
+    out = []
+    for path in sorted(glob(os.path.join(directory, "*.json"))):
+        out.append((os.path.basename(path), load_point(path)))
+    return out
+
+
+def point_label(name: str, doc: dict) -> str:
+    label = (doc.get("meta") or {}).get("label")
+    return label or name.rsplit(".", 1)[0]
+
+
+def extract_metrics(doc: dict) -> dict[tuple[str, str], dict]:
+    """Flatten a point into ``{(dataset, engine): {n, seconds,
+    rows_per_sec}}``; empty when the engine section is absent."""
+    out: dict[tuple[str, str], dict] = {}
+    for dataset, entry in (doc.get(ENGINE_SECTION) or {}).items():
+        for engine, metrics in (entry.get("engines") or {}).items():
+            out[(dataset, engine)] = {
+                "n": entry.get("n"),
+                "seconds": metrics.get("seconds"),
+                "rows_per_sec": metrics.get("rows_per_sec"),
+            }
+    return out
+
+
+def compare_points(current: dict, baseline: dict,
+                   threshold: float = DEFAULT_THRESHOLD) -> list[dict]:
+    """Per-(dataset, engine) comparison rows, gate verdict included.
+
+    A row is a ``regression`` when both points measured the same ``n``
+    and the current rows/sec fell more than ``threshold`` below the
+    baseline.  Engines present in only one point are skipped (the
+    benchmark's engine set may grow across PRs).
+    """
+    cur = extract_metrics(current)
+    base = extract_metrics(baseline)
+    rows = []
+    for key in sorted(set(cur) & set(base)):
+        dataset, engine = key
+        c, b = cur[key], base[key]
+        c_rps, b_rps = c["rows_per_sec"], b["rows_per_sec"]
+        change = (c_rps - b_rps) / b_rps if b_rps else 0.0
+        comparable = c["n"] == b["n"]
+        rows.append({
+            "dataset": dataset,
+            "engine": engine,
+            "n": c["n"],
+            "baseline_n": b["n"],
+            "baseline_rps": b_rps,
+            "current_rps": c_rps,
+            "change": round(change, 4),
+            "comparable": comparable,
+            "regression": comparable and change < -threshold,
+        })
+    return rows
+
+
+def environment_mismatch(current: dict, baseline: dict) -> list[str]:
+    """Human-readable meta differences that make absolute wall-clock
+    comparisons suspect (machine, python, numpy)."""
+    cur_meta = current.get("meta") or {}
+    base_meta = baseline.get("meta") or {}
+    out = []
+    for field in ("machine", "python", "numpy"):
+        a, b = base_meta.get(field), cur_meta.get(field)
+        if a and b and a != b:
+            out.append(f"{field}: baseline {a!r} vs current {b!r}")
+    return out
+
+
+def render_compare_markdown(rows: list[dict], baseline_label: str,
+                            threshold: float = DEFAULT_THRESHOLD) -> str:
+    """The comparison as a markdown table with a verdict column."""
+    lines = [
+        f"### Perf vs `{baseline_label}` (gate: >{threshold:.0%} "
+        f"rows/sec drop)",
+        "",
+        "| dataset | engine | n | baseline rows/s | current rows/s | "
+        "change | verdict |",
+        "|---|---|---:|---:|---:|---:|---|",
+    ]
+    for r in rows:
+        if not r["comparable"]:
+            verdict = f"skipped (n {r['baseline_n']} → {r['n']})"
+        elif r["regression"]:
+            verdict = "**REGRESSION**"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"| {r['dataset']} | {r['engine']} | {r['n']} | "
+            f"{r['baseline_rps']:,.1f} | {r['current_rps']:,.1f} | "
+            f"{r['change']:+.1%} | {verdict} |")
+    return "\n".join(lines)
+
+
+def render_trajectory_markdown(points: list[tuple[str, dict]],
+                               engine: str = "blocked") -> str:
+    """The committed trajectory: one row per dataset, one column per
+    point, rows/sec of ``engine``."""
+    labels = [point_label(name, doc) for name, doc in points]
+    metrics = [extract_metrics(doc) for _, doc in points]
+    datasets = sorted({ds for m in metrics for (ds, eng) in m
+                       if eng == engine})
+    lines = [
+        f"### Perf trajectory — `{engine}` engine rows/sec",
+        "",
+        "| dataset | " + " | ".join(labels) + " |",
+        "|---|" + "---:|" * len(labels),
+    ]
+    for ds in datasets:
+        cells = []
+        for m in metrics:
+            entry = m.get((ds, engine))
+            cells.append(f"{entry['rows_per_sec']:,.1f} (n={entry['n']})"
+                         if entry else "—")
+        lines.append(f"| {ds} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def trace_digest(sample_trace) -> dict:
+    """Compact, machine-comparable digest of one sample-run trace.
+
+    Accepts a :class:`repro.obs.trace.SampleTrace` or its ``to_dict``
+    form.  The digest drops wall-clock values (they belong to the
+    benchmark metrics) and keeps the *shape* of the run — column count,
+    engine-lane mix, scheduling counters, probe totals — so history
+    points can show when a PR changed how the engine schedules work,
+    not just how fast it ran.
+    """
+    doc = sample_trace.to_dict() if hasattr(sample_trace, "to_dict") \
+        else sample_trace
+    modes: dict[str, int] = {}
+    counters: dict[str, int] = {}
+    probes_total = 0
+    for col in doc.get("columns", ()):
+        mode = col.get("mode") or "?"
+        modes[mode] = modes.get(mode, 0) + 1
+        for key, value in (col.get("counters") or {}).items():
+            if key == "block_rows_max":
+                counters[key] = max(counters.get(key, 0), value)
+            else:
+                counters[key] = counters.get(key, 0) + value
+        probes_total += sum((col.get("probes") or {}).values())
+    return {
+        "engine": doc.get("engine"),
+        "columns": len(doc.get("columns", ())),
+        "modes": dict(sorted(modes.items())),
+        "counters": dict(sorted(counters.items())),
+        "probes_total": probes_total,
+    }

@@ -1,0 +1,206 @@
+"""Tests for the committed perf history + regression gate
+(:mod:`repro.obs.bench` and ``repro-kamino bench-compare``).
+
+Pins the gate semantics with synthetic benchmark documents: a >10%
+rows/sec drop on a comparable point fails ``--gate``, a 5% drop passes,
+an ``n`` mismatch is reported but never gated, and the trajectory table
+renders one column per committed point.
+"""
+
+import json
+
+from repro.cli import main
+from repro.obs import (
+    compare_points, environment_mismatch, extract_metrics,
+    render_compare_markdown, render_trajectory_markdown, trace_digest,
+)
+
+
+def _point(rps_scale: float = 1.0, n: int = 800, label: str = "p",
+           machine: str = "x86_64") -> dict:
+    """A synthetic BENCH_exp10.json document."""
+    engines = {}
+    for engine, base in (("row", 1000.0), ("blocked", 4000.0),
+                         ("blocked_workers4", 5000.0)):
+        rps = round(base * rps_scale, 1)
+        engines[engine] = {"seconds": round(n / rps, 4),
+                           "rows_per_sec": rps}
+    return {
+        "meta": {"label": label, "machine": machine, "python": "3.11.0",
+                 "numpy": "1.26.0"},
+        "exp10_engines": {
+            "adult": {"n": n, "engines": engines,
+                      "speedup_blocked_vs_row": 4.0},
+        },
+    }
+
+
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# Library semantics
+# ----------------------------------------------------------------------
+def test_extract_metrics_flattens():
+    metrics = extract_metrics(_point())
+    assert metrics[("adult", "blocked")] == {
+        "n": 800, "seconds": 0.2, "rows_per_sec": 4000.0}
+    assert extract_metrics({}) == {}
+
+
+def test_compare_flags_regression_beyond_threshold():
+    rows = compare_points(_point(0.85), _point(1.0), threshold=0.10)
+    assert all(r["regression"] for r in rows)
+    assert all(abs(r["change"] + 0.15) < 1e-6 for r in rows)
+
+
+def test_compare_passes_small_drop():
+    rows = compare_points(_point(0.95), _point(1.0), threshold=0.10)
+    assert not any(r["regression"] for r in rows)
+
+
+def test_compare_skips_n_mismatch():
+    rows = compare_points(_point(0.5, n=400), _point(1.0, n=800))
+    assert rows and not any(r["comparable"] for r in rows)
+    assert not any(r["regression"] for r in rows)
+    text = render_compare_markdown(rows, "base")
+    assert "skipped (n 800 → 400)" in text
+
+
+def test_compare_ignores_engines_present_once():
+    current = _point()
+    del current["exp10_engines"]["adult"]["engines"]["blocked_workers4"]
+    rows = compare_points(current, _point())
+    assert {r["engine"] for r in rows} == {"row", "blocked"}
+
+
+def test_environment_mismatch_reports_fields():
+    assert environment_mismatch(_point(), _point()) == []
+    diffs = environment_mismatch(_point(machine="arm64"), _point())
+    assert len(diffs) == 1 and "machine" in diffs[0]
+
+
+def test_render_markdown_verdicts():
+    rows = compare_points(_point(0.85), _point())
+    text = render_compare_markdown(rows, "0005-base")
+    assert "**REGRESSION**" in text and "`0005-base`" in text
+    rows = compare_points(_point(1.05), _point())
+    assert "ok" in render_compare_markdown(rows, "b")
+
+
+def test_render_trajectory_one_column_per_point():
+    points = [("0005-a.json", _point(1.0, label="0005-a")),
+              ("0006-b.json", _point(1.2, label="0006-b"))]
+    text = render_trajectory_markdown(points)
+    assert "0005-a" in text and "0006-b" in text
+    assert "4,000.0 (n=800)" in text and "4,800.0 (n=800)" in text
+
+
+def test_trace_digest_shapes():
+    doc = {"engine": "blocked", "columns": [
+        {"mode": "cat-fd-lane",
+         "counters": {"blocks": 3, "block_rows_max": 100},
+         "probes": {"probe_pair": 50}},
+        {"mode": "cat-fd-lane",
+         "counters": {"blocks": 2, "block_rows_max": 80},
+         "probes": {"probe_pair": 30}},
+        {"mode": "unconstrained", "counters": {}, "probes": {}},
+    ]}
+    digest = trace_digest(doc)
+    assert digest["columns"] == 3
+    assert digest["modes"] == {"cat-fd-lane": 2, "unconstrained": 1}
+    assert digest["counters"] == {"blocks": 5, "block_rows_max": 100}
+    assert digest["probes_total"] == 80
+
+
+# ----------------------------------------------------------------------
+# CLI gate
+# ----------------------------------------------------------------------
+def _history(tmp_path, *docs):
+    directory = tmp_path / "history"
+    directory.mkdir()
+    for k, doc in enumerate(docs):
+        _write(directory / f"{k:04d}-point.json", doc)
+    return str(directory)
+
+
+def test_gate_fails_on_15pct_regression(tmp_path, capsys):
+    history = _history(tmp_path, _point(1.0, label="0000-point"))
+    current = _write(tmp_path / "cur.json", _point(0.85))
+    assert main(["bench-compare", current, "--history", history,
+                 "--gate"]) == 1
+    err = capsys.readouterr().err
+    assert "perf regression" in err
+
+
+def test_without_gate_regression_only_reports(tmp_path, capsys):
+    history = _history(tmp_path, _point(1.0))
+    current = _write(tmp_path / "cur.json", _point(0.85))
+    assert main(["bench-compare", current, "--history", history]) == 0
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_gate_passes_5pct_drop(tmp_path, capsys):
+    history = _history(tmp_path, _point(1.0))
+    current = _write(tmp_path / "cur.json", _point(0.95))
+    assert main(["bench-compare", current, "--history", history,
+                 "--gate"]) == 0
+
+
+def test_gate_skips_n_mismatch(tmp_path, capsys):
+    history = _history(tmp_path, _point(1.0, n=800))
+    current = _write(tmp_path / "cur.json", _point(0.5, n=400))
+    assert main(["bench-compare", current, "--history", history,
+                 "--gate"]) == 0
+    assert "skipped" in capsys.readouterr().out
+
+
+def test_gate_compares_against_newest_point(tmp_path):
+    # 0.9x of the newest (1.2) point is fine; it would regress vs the
+    # older 0000 point only if the baseline choice were wrong.
+    history = _history(tmp_path, _point(1.0), _point(1.2))
+    current = _write(tmp_path / "cur.json", _point(1.1))
+    assert main(["bench-compare", current, "--history", history,
+                 "--gate"]) == 0
+
+
+def test_empty_history_is_not_an_error(tmp_path, capsys):
+    history = tmp_path / "history"
+    history.mkdir()
+    current = _write(tmp_path / "cur.json", _point())
+    assert main(["bench-compare", current, "--history", str(history),
+                 "--gate"]) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_markdown_report_written(tmp_path, capsys):
+    history = _history(tmp_path, _point(1.0))
+    current = _write(tmp_path / "cur.json", _point(1.05))
+    report = tmp_path / "report.md"
+    assert main(["bench-compare", current, "--history", history,
+                 "--markdown", str(report)]) == 0
+    text = report.read_text()
+    assert "Perf trajectory" in text and "Perf vs" in text
+
+
+def test_env_mismatch_warns_on_stderr(tmp_path, capsys):
+    history = _history(tmp_path, _point(1.0))
+    current = _write(tmp_path / "cur.json", _point(1.0, machine="arm64"))
+    assert main(["bench-compare", current, "--history", history,
+                 "--gate"]) == 0
+    assert "environment mismatch" in capsys.readouterr().err
+
+
+def test_committed_history_gate_passes_on_itself():
+    """The repo's own committed history must pass its own gate (the
+    newest point compared against itself is a no-op diff)."""
+    from repro.obs import DEFAULT_HISTORY_DIR, history_points
+    points = history_points(DEFAULT_HISTORY_DIR)
+    assert points, "benchmarks/history must hold at least one point"
+    name, doc = points[-1]
+    rows = compare_points(doc, doc)
+    assert rows and not any(r["regression"] for r in rows)
+    assert all("trace_digest" in entry
+               for entry in doc["exp10_engines"].values())

@@ -1,0 +1,90 @@
+"""Documentation link-check (the CI ``docs`` job).
+
+Every backtick-quoted repo path mentioned in ``README.md`` and
+``docs/*.md`` must exist: docs that point at moved or deleted files rot
+silently otherwise.  Paths may use ``*`` globs (``benchmarks/bench_*.py``).
+Also pins the cross-document links (quickstart → architecture →
+benchmarks) the README promises.
+"""
+
+import glob
+import os
+import re
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Backtick-quoted tokens that look like repo paths: a known top-level
+#: directory (or Makefile-style root file) followed by a real file name.
+_PATH_RE = re.compile(
+    r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_.*/\-]+"
+    r"|[A-Za-z0-9_.\-]+\.(?:md|py|yml|toml|json|txt))`")
+
+#: Quoted names that are illustrative or generated, not repo files.
+_IGNORED = {
+    "schema.json", "data.csv", "dcs.txt", "model.npz", "out.json",
+    "trace.json", "fit_trace.json", "ledger.json", "report.md",
+    "synth.csv", "meta.json",
+    # generated benchmark output / example history-point names
+    "BENCH_exp10.json", "0006-run-telemetry.json",
+}
+
+
+def _doc_files():
+    docs = [os.path.join(ROOT, "README.md")]
+    docs += sorted(glob.glob(os.path.join(ROOT, "docs", "*.md")))
+    return docs
+
+
+def _referenced_paths(path):
+    with open(path) as f:
+        text = f.read()
+    return sorted({m.group(1) for m in _PATH_RE.finditer(text)
+                   if m.group(1) not in _IGNORED})
+
+
+@pytest.mark.parametrize("doc", _doc_files(),
+                         ids=lambda p: os.path.relpath(p, ROOT))
+def test_doc_paths_exist(doc):
+    missing = []
+    for ref in _referenced_paths(doc):
+        target = os.path.join(ROOT, ref)
+        if "*" in ref:
+            if not glob.glob(target):
+                missing.append(ref)
+        elif not os.path.exists(target):
+            missing.append(ref)
+    assert not missing, (
+        f"{os.path.relpath(doc, ROOT)} references missing paths: "
+        f"{', '.join(missing)}")
+
+
+def test_docs_exist():
+    for name in ("README.md", "docs/ARCHITECTURE.md",
+                 "docs/BENCHMARKS.md", "benchmarks/history/README.md"):
+        assert os.path.exists(os.path.join(ROOT, name)), name
+
+
+def test_readme_links_docs_chain():
+    with open(os.path.join(ROOT, "README.md")) as f:
+        text = f.read()
+    assert "docs/ARCHITECTURE.md" in text
+    assert "docs/BENCHMARKS.md" in text
+    assert "examples/quickstart.py" in text
+
+
+def test_architecture_covers_current_system():
+    with open(os.path.join(ROOT, "docs", "ARCHITECTURE.md")) as f:
+        text = f.read()
+    for needle in ("FittedKamino", "blocked", "Philox",
+                   "violation index", "model format v2", "RunTrace"):
+        assert needle in text, needle
+
+
+def test_benchmarks_doc_covers_history_and_gate():
+    with open(os.path.join(ROOT, "docs", "BENCHMARKS.md")) as f:
+        text = f.read()
+    for needle in ("BENCH_exp10.json", "benchmarks/history",
+                   "bench-compare", "--gate", "exp10"):
+        assert needle in text, needle
