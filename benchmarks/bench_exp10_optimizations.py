@@ -27,6 +27,14 @@
 
        PYTHONPATH=src python benchmarks/bench_exp10_optimizations.py \
            --n 5000 --out BENCH_exp10.json
+6. *Process-pool scaling + streaming* (``--scaling``): draws across a
+   (pool, workers) grid — every point asserted bit-identical to the
+   workers=1 baseline — plus streamed-draw throughput and, with
+   ``--stream-rows N``, one large bounded-memory streamed draw.  The
+   payload lands in its own ``exp10f_scaling`` JSON section (the
+   ``exp10_engines`` regression gate is unaffected) and records the
+   machine's ``cpu_count``, without which the speedups are
+   uninterpretable.
 """
 
 import argparse
@@ -314,6 +322,156 @@ def test_exp10_blocked_engine(benchmark):
         assert entry["speedup_blocked_vs_row"] > 0.7, name
 
 
+#: Worker counts the scaling experiment sweeps, per pool.
+SCALING_WORKERS = (1, 2, 4)
+
+
+def run_scaling_experiment(n_rows: dict | None = None, repeats: int = 2,
+                           max_iterations: int = 40,
+                           stream_rows: int = 0,
+                           stream_dataset: str = "tpch") -> dict:
+    """Experiment 10f: worker scaling + streaming throughput.
+
+    Per dataset: one fit, then timed draws across the (pool, workers)
+    grid — every draw is asserted bit-identical to the workers=1
+    baseline, so the numbers measure pure scheduling cost — plus a
+    streamed draw's end-to-end throughput.  ``stream_rows > 0`` adds a
+    single large streamed draw (the n>=1M bounded-memory run) on
+    ``stream_dataset``, with the process-wide RSS high-water mark
+    recorded alongside.
+
+    The payload goes in its own ``exp10f_scaling`` section, so the
+    ``exp10_engines`` regression gate is unaffected.  ``cpu_count`` is
+    recorded because the speedups are meaningless without it: on a
+    single-core runner the process pool can only add overhead.
+    """
+    out: dict = {"cpu_count": os.cpu_count() or 1}
+    for name in ENGINE_BENCH_DATASETS:
+        n = (n_rows or {}).get(name, rows_for(name))
+        dataset = load(name, n=n, seed=0)
+
+        def cap(params, cap_to=max_iterations):
+            params.iterations = min(params.iterations, cap_to)
+
+        kam = Kamino(dataset.relation, dataset.dcs, epsilon=1.0,
+                     delta=1e-6, seed=0, params_override=cap)
+        fitted = kam.fit(dataset.table)
+        baseline = fitted.sample(seed=3).table
+        entry: dict = {"n": n, "pools": {}}
+        for pool in ("thread", "process"):
+            grid: dict = {}
+            for workers in SCALING_WORKERS:
+                draws = []
+                seconds = min(timeit.timeit(
+                    lambda: draws.append(fitted.sample(
+                        seed=3, workers=workers, pool=pool)),
+                    number=1) for _ in range(repeats))
+                table = draws[-1].table
+                for attr in dataset.relation.names:
+                    np.testing.assert_array_equal(
+                        table.column(attr), baseline.column(attr),
+                        err_msg=f"{name}/{pool}/workers={workers}/{attr}")
+                grid[str(workers)] = {
+                    "seconds": round(seconds, 4),
+                    "rows_per_sec": round(n / max(seconds, 1e-9), 1),
+                }
+            entry["pools"][pool] = grid
+        proc = entry["pools"]["process"]
+        entry["speedup_process4_vs_1"] = round(
+            proc["1"]["seconds"] / max(proc["4"]["seconds"], 1e-9), 2)
+
+        n_stream = 4 * n
+        chunk = max(n, 1)
+        start = time.perf_counter()
+        got = sum(c.n for c in fitted.sample_stream(
+            n=n_stream, seed=3, chunk_rows=chunk))
+        seconds = time.perf_counter() - start
+        assert got == n_stream
+        entry["stream"] = {
+            "n": n_stream, "chunk_rows": chunk,
+            "seconds": round(seconds, 4),
+            "rows_per_sec": round(n_stream / max(seconds, 1e-9), 1),
+        }
+        out[name] = entry
+
+    if stream_rows > 0 and stream_dataset in out:
+        import resource
+        dataset = load(stream_dataset,
+                       n=(n_rows or {}).get(stream_dataset,
+                                            rows_for(stream_dataset)),
+                       seed=0)
+
+        def cap(params, cap_to=max_iterations):
+            params.iterations = min(params.iterations, cap_to)
+
+        fitted = Kamino(dataset.relation, dataset.dcs, epsilon=1.0,
+                        delta=1e-6, seed=0, params_override=cap
+                        ).fit(dataset.table)
+        chunk = 65536
+        start = time.perf_counter()
+        got = sum(c.n for c in fitted.sample_stream(
+            n=stream_rows, seed=3, chunk_rows=chunk))
+        seconds = time.perf_counter() - start
+        assert got == stream_rows
+        out["stream_large"] = {
+            "dataset": stream_dataset, "n": stream_rows,
+            "chunk_rows": chunk,
+            "seconds": round(seconds, 2),
+            "rows_per_sec": round(stream_rows / max(seconds, 1e-9), 1),
+            "ru_maxrss_mb": round(resource.getrusage(
+                resource.RUSAGE_SELF).ru_maxrss / 1024, 1),
+        }
+    return out
+
+
+def _print_scaling_table(results: dict) -> None:
+    print(f"cpu_count={results['cpu_count']}")
+    print(f"{'dataset':>8s} {'n':>7s} "
+          f"{'thr1 s':>8s} {'thr2 s':>8s} {'thr4 s':>8s} "
+          f"{'prc1 s':>8s} {'prc2 s':>8s} {'prc4 s':>8s} "
+          f"{'p4/p1':>6s} {'stream r/s':>11s}")
+    for name, entry in results.items():
+        if not isinstance(entry, dict) or "pools" not in entry:
+            continue
+        thr, prc = entry["pools"]["thread"], entry["pools"]["process"]
+        print(f"{name:>8s} {entry['n']:7d} "
+              f"{thr['1']['seconds']:8.2f} {thr['2']['seconds']:8.2f} "
+              f"{thr['4']['seconds']:8.2f} "
+              f"{prc['1']['seconds']:8.2f} {prc['2']['seconds']:8.2f} "
+              f"{prc['4']['seconds']:8.2f} "
+              f"{entry['speedup_process4_vs_1']:5.2f}x "
+              f"{entry['stream']['rows_per_sec']:11,.0f}")
+    large = results.get("stream_large")
+    if large:
+        print(f"large stream: {large['dataset']} n={large['n']:,} "
+              f"chunk={large['chunk_rows']} {large['seconds']:.1f}s "
+              f"({large['rows_per_sec']:,.0f} rows/s, "
+              f"peak RSS {large['ru_maxrss_mb']:.0f}MB)")
+
+
+def test_exp10_worker_scaling(benchmark):
+    """Experiment 10f: process-pool worker scaling + streamed draws.
+
+    Every grid point is asserted bit-identical to the workers=1 draw
+    inside :func:`run_scaling_experiment`; the >1.5x speedup claim is
+    only checked where it can physically hold (>= 4 cores) — on
+    smaller runners the grid still exercises the process lane and the
+    payload records ``cpu_count`` so readers can judge the numbers.
+    """
+    results = benchmark.pedantic(run_scaling_experiment, rounds=1,
+                                 iterations=1)
+    print_header("Experiment 10f — process-pool scaling + streaming "
+                 "(bit-identical across every schedule)")
+    _print_scaling_table(results)
+    path = _write_bench_json("exp10f_scaling", results)
+    print(f"wrote {path}")
+    if results["cpu_count"] >= 4:
+        best = max(entry["speedup_process4_vs_1"]
+                   for name, entry in results.items()
+                   if isinstance(entry, dict) and "pools" in entry)
+        assert best > 1.5, f"4-worker process pool only {best}x"
+
+
 def main(argv=None) -> int:
     """Standalone perf smoke: engine comparison + BENCH_exp10.json."""
     global ENGINE_BENCH_DATASETS
@@ -331,6 +489,14 @@ def main(argv=None) -> int:
     parser.add_argument("--label", default=None,
                         help="point label recorded in meta.label (used "
                              "by bench-compare's trajectory table)")
+    parser.add_argument("--scaling", action="store_true",
+                        help="also run the exp10f worker-scaling + "
+                             "streaming grid")
+    parser.add_argument("--stream-rows", type=int, default=0,
+                        help="with --scaling: row count of one large "
+                             "bounded-memory streamed draw (0 = skip)")
+    parser.add_argument("--stream-dataset", default="tpch",
+                        help="dataset of the large streamed draw")
     args = parser.parse_args(argv)
     if args.out:
         os.environ["REPRO_BENCH_JSON"] = args.out
@@ -343,6 +509,17 @@ def main(argv=None) -> int:
     _print_engine_table(results)
     path = _write_bench_json("exp10_engines", results, label=args.label)
     print(f"wrote {path}")
+    if args.scaling:
+        scaling = run_scaling_experiment(
+            n_rows=n_rows, repeats=args.repeats,
+            max_iterations=args.max_iterations,
+            stream_rows=args.stream_rows,
+            stream_dataset=args.stream_dataset)
+        print_header("Experiment 10f — process-pool scaling + streaming")
+        _print_scaling_table(scaling)
+        path = _write_bench_json("exp10f_scaling", scaling,
+                                 label=args.label)
+        print(f"wrote {path}")
     return 0
 
 

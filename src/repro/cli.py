@@ -44,6 +44,7 @@ import argparse
 import csv
 import json
 import sys
+import time
 
 import numpy as np
 
@@ -232,18 +233,24 @@ def cmd_sample(args) -> int:
     """Serve many: draw a synthetic bundle from a saved model.
 
     Pure post-processing — needs only the public schema (and DCs), never
-    the private data, and spends no additional budget.
+    the private data, and spends no additional budget.  When ``--out``
+    names a table file (``.csv``/``.parquet``/``.arrow``/``.feather``)
+    the draw *streams*: bounded-memory chunks go straight to disk, so
+    n=10M never materializes in memory.
     """
+    from repro.io.stream import stream_format_for, write_table_stream
+
     relation = load_relation(args.schema)
     dcs = load_dcs(args.dcs, relation=relation) if args.dcs else []
     fitted = FittedKamino.load(args.model, relation, dcs)
     resolved = args.engine or fitted.config.engine
+    pool = args.pool or fitted.config.pool
     n_workers = fitted.config.workers if args.workers is None \
         else args.workers
-    if n_workers != 1 and resolved == "row":
+    if n_workers not in (0, 1) and resolved == "row" and pool != "process":
         print("error: --workers requires the blocked engine (this draw "
-              f"resolves to engine={resolved!r}; pass --engine blocked "
-              "or drop --workers)", file=sys.stderr)
+              f"resolves to engine={resolved!r}; pass --engine blocked, "
+              "--pool process, or drop --workers)", file=sys.stderr)
         return 2
     missing = sorted(set(fitted.weights) - {dc.name for dc in dcs})
     if missing:
@@ -251,13 +258,36 @@ def cmd_sample(args) -> int:
               f"{', '.join(missing)} but they were not supplied via "
               f"--dcs; the draw will not enforce them (and will differ "
               f"from the fit-time draw)", file=sys.stderr)
+    stream_fmt = stream_format_for(args.out)
+    if stream_fmt is not None:
+        if args.trace:
+            print("warning: --trace is not recorded for streamed draws; "
+                  "ignoring it", file=sys.stderr)
+        start = time.perf_counter()
+        chunks = fitted.sample_stream(n=args.n, seed=args.seed,
+                                      chunk_rows=args.chunk_rows,
+                                      engine=args.engine)
+        try:
+            rows = write_table_stream(args.out, relation, chunks,
+                                      fmt=stream_fmt)
+        except RuntimeError as exc:  # e.g. pyarrow not installed
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        chunk_rows = (fitted.config.stream_chunk_rows
+                      if args.chunk_rows is None else args.chunk_rows)
+        print(f"streamed synthetic table to {args.out} "
+              f"(n={rows}, {stream_fmt}, chunk_rows={chunk_rows}, "
+              f"{time.perf_counter() - start:.1f}s via the {resolved} "
+              f"engine, no privacy spend)")
+        return 0
     trace = RunTrace(label=f"sample:{args.model}") if args.trace else None
     result = fitted.sample(n=args.n, seed=args.seed,
                            workers=n_workers, engine=args.engine,
-                           trace=trace)
+                           pool=args.pool, trace=trace)
     save_bundle(args.out, result.table, fitted.dcs)
     engine = resolved
-    workers = f", workers={n_workers}" if n_workers != 1 else ""
+    workers = f", workers={n_workers} ({pool} pool)" \
+        if n_workers != 1 else ""
     print(f"wrote synthetic bundle to {args.out} "
           f"(n={result.table.n}, sampling "
           f"{result.timings['Sam.']:.1f}s via the {engine} engine"
@@ -270,16 +300,20 @@ def cmd_synthesize(args) -> int:
     bundle = load_bundle(args.bundle)
     config = _config_from_args(args)
     n_workers = config.workers if args.workers is None else args.workers
-    if n_workers != 1 and config.engine == "row":
+    pool = args.pool or config.pool
+    if n_workers not in (0, 1) and config.engine == "row" \
+            and pool != "process":
         print("error: --workers requires the blocked engine (drop "
-              "--engine row or --workers)", file=sys.stderr)
+              "--engine row or --workers, or pass --pool process)",
+              file=sys.stderr)
         return 2
     # One trace spans the whole pipeline: fit phases + the draw.
     trace = RunTrace(label=f"synthesize:{args.bundle}") \
         if args.trace else None
     kamino = Kamino(bundle.relation, bundle.dcs, config=config)
     fitted = kamino.fit(bundle.table, trace=trace)
-    result = fitted.sample(n=args.n, workers=n_workers, trace=trace)
+    result = fitted.sample(n=args.n, workers=n_workers, pool=args.pool,
+                           trace=trace)
     if args.save_model:
         fitted.save(args.save_model)
         print(f"wrote fitted model to {args.save_model} "
@@ -457,17 +491,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="public schema.json the model was fitted over")
     p.add_argument("--dcs", default=None,
                    help="denial constraints file (dcs.txt) to enforce")
-    p.add_argument("--out", required=True)
+    p.add_argument("--out", required=True,
+                   help="output bundle directory, or a table file "
+                        "(.csv/.parquet/.arrow/.feather) to *stream* "
+                        "the draw to in bounded-memory chunks")
     p.add_argument("--n", type=int, default=None,
                    help="synthetic rows (default: fitted input size)")
     p.add_argument("--seed", type=int, default=None,
                    help="draw seed (default: reproduce the fit-time "
                         "draw, given the same --dcs)")
     p.add_argument("--workers", type=int, default=None,
-                   help="shard the blocked engine's unconstrained "
-                        "column passes over N threads (output is "
-                        "bit-identical for any worker count; default: "
-                        "the fitted config's workers)")
+                   help="shard the blocked engine's column passes over "
+                        "N workers; 0 resolves from os.cpu_count() at "
+                        "draw time (output is bit-identical for any "
+                        "worker count; default: the fitted config's "
+                        "workers)")
+    p.add_argument("--pool", choices=("thread", "process"), default=None,
+                   help="execution lane for --workers > 1: shared-"
+                        "memory threads or worker processes (default: "
+                        "the fitted config's pool; either is "
+                        "bit-identical to workers=1)")
+    p.add_argument("--chunk-rows", type=int, default=None,
+                   help="rows per streamed chunk when --out is a table "
+                        "file (default: the fitted config's "
+                        "stream_chunk_rows; pure scheduling)")
     p.add_argument("--engine", choices=("blocked", "row"), default=None,
                    help="override the engine the model was fitted "
                         "with for this draw")
@@ -485,8 +532,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also persist the fitted model for later "
                         "'sample' runs")
     p.add_argument("--workers", type=int, default=None,
-                   help="thread workers for the blocked engine's "
-                        "sampling pass (default: the config's workers)")
+                   help="workers for the blocked engine's sampling "
+                        "pass; 0 = auto from os.cpu_count() (default: "
+                        "the config's workers)")
+    p.add_argument("--pool", choices=("thread", "process"), default=None,
+                   help="execution lane for --workers > 1 (default: "
+                        "the config's pool)")
     _add_budget_arguments(p)
     _add_trace_argument(p)
     p.set_defaults(fn=cmd_synthesize)

@@ -445,6 +445,29 @@ class FDViolationIndex(ViolationIndex):
             return []
         return sorted(group[1])
 
+    def matched_det_values(self, target: str, row: dict) -> list:
+        """Sorted distinct values of determinant attribute ``target``
+        among indexed rows matching ``row`` on the *other* determinant
+        attributes and on the dependent.
+
+        The reverse of :meth:`dependents_of`: the sampler is filling a
+        determinant column and wants prefix values already bound to this
+        dependent — exactly what the O(prefix) equality scan returns,
+        served in O(#groups) from the histograms (streaming draws keep
+        the index but not the prefix arrays).
+        """
+        t_pos = self.determinant.index(target)
+        others = [(p, _item(row[a]))
+                  for p, a in enumerate(self.determinant) if a != target]
+        dep = _item(row[self.dependent])
+        out = set()
+        for key, (_, counts) in self._groups.items():
+            if dep not in counts:
+                continue
+            if all(key[p] == v for p, v in others):
+                out.add(key[t_pos])
+        return sorted(out)
+
 
 # ----------------------------------------------------------------------
 # Conditional-order DCs

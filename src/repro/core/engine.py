@@ -38,6 +38,35 @@ as the row engine (its draws differ only through the rng scheme; the
 ``engine="row"`` config keeps the legacy stream for exact replay of
 pre-engine outputs).
 
+Built on those two properties, three further execution lanes (all
+bit-identical to the plain single-worker draw, pinned by
+``tests/test_engine_blocked.py``):
+
+3.  **Group-disjoint constrained sub-schedules.**  Rows in different
+    determinant / equality groups provably cannot interact, so a
+    constrained column whose group keys are determined up front can be
+    partitioned into *group-closed* row shards (:func:`_shard_rows`,
+    union-find over the per-DC group ids) and each shard run as its own
+    sub-schedule with shard-local violation indexes — the same pass,
+    gathered onto the shard's rows.
+
+4.  **A process-pool lane** (``pool="process"``): shards ship to worker
+    processes as compact picklable specs (row indices + gathered
+    context slices + the noise key); each worker holds one
+    :class:`_ColumnSampler` built from the model payload at pool init
+    and recomputes its base conditional locally (the conditional is
+    row-pure).  Outputs stitch back by row index — bit-identical to
+    ``workers=1`` because every cell's noise is position-pure.
+
+5.  **Streaming chunked draws** (:func:`synthesize_stream`): the same
+    column passes run chunk-major with per-column state (violation
+    indexes, FD lookups, used-value sets, noise streams) persisting
+    across chunks, yielding bounded-memory row chunks whose
+    concatenation equals the single-shot draw bit for bit.  DC shapes
+    that would need the full sampled prefix raise
+    :class:`~repro.core.sampling.PrefixScanRequired` instead of
+    silently degrading.
+
 Entry point: :func:`synthesize_engine` — the blocked counterpart of
 :func:`repro.core.sampling.synthesize`, dispatched from
 :meth:`repro.core.kamino.FittedKamino.sample` via ``KaminoConfig.engine``.
@@ -45,14 +74,17 @@ Entry point: :func:`synthesize_engine` — the blocked counterpart of
 
 from __future__ import annotations
 
+import multiprocessing
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.hyper import HyperSpec
 from repro.core.sampling import (
+    PrefixScanRequired,
     _allocate_columns,
     _allocate_working,
     _append_row,
@@ -60,6 +92,7 @@ from repro.core.sampling import (
     _forced_value,
     _mcmc_resample,
     _record_fd,
+    synthesize as _synthesize_row,
 )
 from repro.constraints.index import FDViolationIndex
 from repro.constraints.violations import multi_candidate_violation_counts
@@ -76,6 +109,16 @@ MAX_BLOCK_ROWS = 512
 #: Rows below which sharding an unconstrained column is not worth the
 #: thread handoff.
 _MIN_SHARD_ROWS = 2048
+
+#: Default row-chunk of a streaming draw (``sample_stream``); a pure
+#: scheduling knob — chunk boundaries never change a cell.
+STREAM_CHUNK_ROWS = 65536
+
+#: Bounds on the per-column chunk caches (noise matrices and base
+#: candidate matrices).  Small LRUs: a streaming n=10M draw touches
+#: thousands of chunks but only ever needs the last few.
+_NOISE_CACHE_CHUNKS = 4
+_BASE_CACHE_CHUNKS = 2
 
 #: The rng spec persisted alongside the engine choice.
 ENGINE_RNG_SPEC = {"scheme": "philox-cell", "chunk": NOISE_CHUNK}
@@ -108,6 +151,40 @@ def _box_muller(u: np.ndarray) -> np.ndarray:
     return r * np.cos(2.0 * np.pi * u[:, d:])
 
 
+class _LRU:
+    """A tiny bounded mapping with least-recently-used eviction.
+
+    Backs the per-column chunk caches (regenerated noise matrices, base
+    candidate matrices): hits move the chunk to the back, inserts evict
+    from the front once ``cap`` entries are held — so long draws and
+    streaming runs hold O(cap) chunks regardless of n.
+    """
+
+    __slots__ = ("cap", "_data")
+
+    def __init__(self, cap: int):
+        self.cap = int(cap)
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.cap:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+
 class _CellNoise:
     """Counter-based per-cell uniform streams for one column.
 
@@ -124,7 +201,7 @@ class _CellNoise:
         self.stride = max(int(stride), 1)
         self.chunk = int(chunk)
         self.n_rows = n_rows
-        self._cache: dict[int, np.ndarray] = {}
+        self._cache = _LRU(_NOISE_CACHE_CHUNKS)
 
     def _chunk_rows(self, c: int) -> np.ndarray:
         cached = self._cache.get(c)
@@ -139,9 +216,7 @@ class _CellNoise:
                 np.random.SeedSequence([self.seed, self.tag, c]))
             cached = np.random.Generator(bitgen).random(
                 (rows, self.stride))
-            if len(self._cache) >= 4:
-                self._cache.pop(next(iter(self._cache)))
-            self._cache[c] = cached
+            self._cache.put(c, cached)
         return cached
 
     def rows(self, lo: int, hi: int) -> np.ndarray:
@@ -158,6 +233,55 @@ class _CellNoise:
             base = c * self.chunk
             parts.append(block[max(lo - base, 0):min(hi - base, self.chunk)])
         return np.concatenate(parts, axis=0)
+
+
+class _OffsetNoise:
+    """A noise view shifted by a fixed global row offset.
+
+    Streaming chunks (and contiguous shard specs) work on chunk-local
+    arrays but every cell must read the uniforms of its *global* row —
+    local row ``r`` maps to ``offset + r`` of the inner stream.
+    """
+
+    __slots__ = ("inner", "offset", "stride", "chunk")
+
+    def __init__(self, inner, offset: int):
+        self.inner = inner
+        self.offset = int(offset)
+        self.stride = inner.stride
+        self.chunk = inner.chunk
+
+    def rows(self, lo: int, hi: int) -> np.ndarray:
+        return self.inner.rows(lo + self.offset, hi + self.offset)
+
+
+class _GatherNoise:
+    """A noise view over an arbitrary (sorted) global row selection.
+
+    Group-closed shards gather non-contiguous rows; local row ``r``
+    maps to global row ``rows[r]``.  Rows are fetched chunk by chunk so
+    regeneration cost matches the contiguous path.
+    """
+
+    __slots__ = ("inner", "_rows", "stride", "chunk")
+
+    def __init__(self, inner, rows: np.ndarray):
+        self.inner = inner
+        self._rows = np.asarray(rows, dtype=np.int64)
+        self.stride = inner.stride
+        self.chunk = inner.chunk
+
+    def rows(self, lo: int, hi: int) -> np.ndarray:
+        sel = self._rows[lo:hi]
+        if sel.shape[0] == 0:
+            return np.empty((0, self.stride))
+        out = np.empty((sel.shape[0], self.stride))
+        chunks = sel // self.chunk
+        for c in np.unique(chunks):
+            mask = chunks == c
+            block = self.inner._chunk_rows(int(c))
+            out[mask] = block[sel[mask] - int(c) * self.chunk]
+        return out
 
 
 @dataclass
@@ -328,12 +452,125 @@ def _conflict_blocks(specs: list, cols: dict, n: int, max_block: int):
         yield (start, n)
 
 
+# ----------------------------------------------------------------------
+# Group-disjoint sub-schedules: partition rows into closed shards
+# ----------------------------------------------------------------------
+def _group_components(specs: list, cols: dict, n: int) -> np.ndarray:
+    """Connected-component id per row under the group-key relation.
+
+    Two rows interact iff they share a group under *some* active DC, so
+    the closed units are the connected components of the union of the
+    per-spec group partitions — computed with a union-find over the
+    per-spec group ids (unions only over the distinct co-occurring
+    pairs, not per row).
+    """
+    inv = []
+    for key in specs:
+        if len(key) == 1:
+            _, ids = np.unique(cols[key[0]][:n], return_inverse=True)
+        else:
+            stack = np.stack([cols[a][:n] for a in key], axis=1)
+            _, ids = np.unique(stack, axis=0, return_inverse=True)
+        inv.append(ids.astype(np.int64))
+    if len(inv) == 1:
+        return inv[0]
+    offsets = np.cumsum([0] + [int(ids.max()) + 1 for ids in inv[:-1]])
+    parent = np.arange(offsets[-1] + int(inv[-1].max()) + 1,
+                       dtype=np.int64)
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    base = inv[0]
+    for s in range(1, len(inv)):
+        pairs = np.unique(np.stack(
+            [base, inv[s] + offsets[s]], axis=1), axis=0)
+        for a, b in pairs:
+            ra, rb = find(int(a)), find(int(b))
+            if ra != rb:
+                # Deterministic: the smaller root id wins.
+                if rb < ra:
+                    ra, rb = rb, ra
+                parent[rb] = ra
+    roots = np.array([find(int(g)) for g in range(offsets[1])],
+                     dtype=np.int64)
+    _, comp = np.unique(roots[base], return_inverse=True)
+    return comp
+
+
+def _shard_rows(specs: list | None, cols: dict, n: int,
+                k: int) -> list[np.ndarray] | None:
+    """Partition rows 0..n into ≤ ``k`` group-closed shards, or None.
+
+    Rows sharing a constraint group always land in the same shard, so
+    shard-local sub-schedules (with shard-local indexes) compute the
+    exact same penalties as the sequential pass — the partition is pure
+    scheduling.  Components are balanced greedily (largest first onto
+    the lightest shard; deterministic tie-breaks).  Returns None when
+    sharding cannot pay off: too few rows, a single dominating
+    component, or no spec structure at all (``specs is None``).
+    """
+    if specs is None or k <= 1 or n < max(2 * _MIN_SHARD_ROWS, k):
+        return None
+    if not specs:
+        # Unary-only column: every row is its own component.
+        bounds = np.linspace(0, n, k + 1).astype(int)
+        return [np.arange(bounds[t], bounds[t + 1], dtype=np.int64)
+                for t in range(k) if bounds[t] < bounds[t + 1]]
+    comp = _group_components(specs, cols, n)
+    sizes = np.bincount(comp)
+    if int(sizes.max()) > n - _MIN_SHARD_ROWS:
+        return None  # one component dominates: sharding buys nothing
+    order = np.lexsort((np.arange(sizes.shape[0]), -sizes))
+    load = np.zeros(k, dtype=np.int64)
+    shard_of_comp = np.empty(sizes.shape[0], dtype=np.int64)
+    for comp_id in order:
+        t = int(np.argmin(load))  # first minimum: deterministic
+        shard_of_comp[comp_id] = t
+        load[t] += sizes[comp_id]
+    shard_of_row = shard_of_comp[comp]
+    shards = [np.flatnonzero(shard_of_row == t) for t in range(k)]
+    shards = [s for s in shards if s.shape[0]]
+    return shards if len(shards) > 1 else None
+
+
+@dataclass
+class _PassState:
+    """Per-column incremental state that outlives one chunk.
+
+    A single-shot pass creates (and discards) this implicitly; a
+    streaming draw keeps one per column so the violation indexes, FD
+    lookups, and used-value sets accumulate across chunks exactly as
+    they would over one long pass.
+    """
+
+    vio: dict
+    fd_indexes: list
+    used: set | None
+
+
 class _ColumnPass:
-    """Shared state of one constrained column pass."""
+    """Shared state of one constrained column pass.
+
+    ``state`` carries persistent per-column indexes across streaming
+    chunks (None builds fresh ones — the single-shot case).  ``strict``
+    raises :class:`PrefixScanRequired` instead of scanning the local
+    prefix (which, in a chunk, is not the global prefix).
+    ``row_offset`` is the global index of local row 0, used only for
+    the "is the global prefix empty" guards of the candidate
+    augmentation — never for array indexing.
+    """
 
     def __init__(self, sampler: _ColumnSampler, j: int, base,
-                 layout: _Layout, noise: _CellNoise, cols: dict,
-                 wcols: dict, fd_indexes: list, tracer=None):
+                 layout: _Layout, noise, cols: dict,
+                 wcols: dict, fd_indexes: list | None = None,
+                 tracer=None, state: _PassState | None = None,
+                 strict: bool = False, row_offset: int = 0):
         self.sampler = sampler
         self.j = j
         self.base = base
@@ -341,9 +578,18 @@ class _ColumnPass:
         self.noise = noise
         self.cols = cols
         self.wcols = wcols
-        self.fd_indexes = fd_indexes
+        self.strict = strict
+        self.row_offset = int(row_offset)
         self.w = sampler.wseq[j]
-        self.vio = sampler.violation_indexes_for(j)
+        if state is not None:
+            self.vio = state.vio
+            self.fd_indexes = state.fd_indexes
+            self.used = state.used
+        else:
+            self.vio = sampler.violation_indexes_for(j)
+            self.fd_indexes = (fd_indexes if fd_indexes is not None
+                               else sampler.fd_indexes_for(j))
+            self.used = sampler.fresh_value_tracker(j)
         self.tracer = tracer
         if tracer is not None:
             # Route every index probe into the column's probe counters;
@@ -351,7 +597,6 @@ class _ColumnPass:
             # is race-free.
             for index in self.vio.values():
                 index.counters = tracer.probes
-        self.used = sampler.fresh_value_tracker(j)
         self.active = sampler.active_at[j]
         if layout.kind == "cat":
             codes = np.arange(layout.d, dtype=np.int64)
@@ -368,7 +613,7 @@ class _ColumnPass:
             (dc, sampler.weight_of(dc),
              tuple(a for a in (self.decoded or {}) if a in dc.attributes))
             for dc in self.active]
-        self._chunk_cache: dict[int, tuple] = {}
+        self._chunk_cache = _LRU(_BASE_CACHE_CHUNKS)
         self._n_rows = next(iter(cols.values())).shape[0]
 
     # -- penalties -----------------------------------------------------
@@ -414,6 +659,7 @@ class _ColumnPass:
             if index is not None:
                 counts = index.probe_many(tv_arg, contexts)
             if counts is None:
+                self._check_scan_allowed(dc)
                 counts = np.vstack([
                     multi_candidate_violation_counts(
                         dc,
@@ -425,6 +671,20 @@ class _ColumnPass:
                     for r, i in enumerate(rows)])
             penalty += weight * counts
         return penalty
+
+    def _check_scan_allowed(self, dc) -> None:
+        """Strict mode refuses prefix scans for non-unary DCs.
+
+        A streaming chunk's local prefix is not the global one, so a
+        scan would silently change the draw; unary penalties ignore the
+        prefix entirely and always scan safely.
+        """
+        if self.strict and not dc.is_unary:
+            raise PrefixScanRequired(
+                f"DC {dc.name!r} needs a prefix scan at column "
+                f"{self.w!r}; streaming draws require an index-served "
+                f"probe path (use_violation_index=True and an "
+                f"FD/order-shaped DC)")
 
     def _fd_block_counts(self, dc, tattrs: tuple, rows: np.ndarray,
                          target_values: dict) -> np.ndarray | None:
@@ -480,6 +740,7 @@ class _ColumnPass:
             if index is not None:
                 counts = index.candidate_counts(None, row)
             if counts is None:
+                self._check_scan_allowed(dc)
                 tv = {a: self.decoded[a][pick:pick + 1] for a in tattrs}
                 context = {a: row[a] for a in dc.attributes
                            if a not in tattrs}
@@ -746,9 +1007,7 @@ class _ColumnPass:
             cand = sampler.snap(w, hist.quantizer.domain.clip(raw))
             logp = np.broadcast_to(hist.log_prob_codes()[None, :],
                                    (hi - lo, d)).copy()
-        if len(self._chunk_cache) >= 2:
-            self._chunk_cache.pop(next(iter(self._chunk_cache)))
-        self._chunk_cache[c] = (cand, logp)
+        self._chunk_cache.put(c, (cand, logp))
         return cand, logp
 
     def _score_numeric(self, rows: np.ndarray, u: np.ndarray,
@@ -769,14 +1028,17 @@ class _ColumnPass:
         lpm[:, :d] = logp
         if layout.extras:
             for r, i in enumerate(rows):
-                extra = sampler._consistent_values(self.j, w, cols, int(i),
-                                                   indexes=self.vio)
+                extra = sampler._consistent_values(
+                    self.j, w, cols, int(i), indexes=self.vio,
+                    strict=self.strict,
+                    prefix_rows=self.row_offset + int(i))
                 fresh = np.empty(0)
                 if layout.fresh_off >= 0:
                     fresh = sampler._fresh_values(
                         self.j, w, cols, int(i), used=self.used,
                         uniforms=u[i - lo][layout.fresh_off:
-                                           layout.fresh_off + _FRESH_TRIES])
+                                           layout.fresh_off + _FRESH_TRIES],
+                        prefix_rows=self.row_offset + int(i))
                 added = np.concatenate([extra, fresh])
                 k = added.shape[0]
                 if not k:
@@ -826,13 +1088,15 @@ class _ColumnPass:
             cand, logp = cand_base[0], logp_base[0]
             u_row = self.noise.rows(i, i + 1)[0]
             if layout.extras:
-                extra = sampler._consistent_values(j, w, cols, i,
-                                                   indexes=self.vio)
+                extra = sampler._consistent_values(
+                    j, w, cols, i, indexes=self.vio, strict=self.strict,
+                    prefix_rows=self.row_offset + i)
                 fresh = _EMPTY
                 if fresh_off >= 0:
                     fresh = sampler._fresh_values(
                         j, w, cols, i, used=self.used,
-                        uniforms=u_row[fresh_off:fresh_off + _FRESH_TRIES])
+                        uniforms=u_row[fresh_off:fresh_off + _FRESH_TRIES],
+                        prefix_rows=self.row_offset + i)
                 if extra.size or fresh.size:
                     added = np.concatenate([extra, fresh])
                     cand = np.concatenate([cand, added])
@@ -853,6 +1117,7 @@ class _ColumnPass:
                 if index is not None:
                     counts = index.candidate_counts(tv, context)
                 if counts is None:
+                    self._check_scan_allowed(dc)
                     counts = multi_candidate_violation_counts(
                         dc, tv, context,
                         {a: cols[a][:i] for a in dc.attributes})
@@ -891,35 +1156,309 @@ class _ColumnPass:
 
 
 # ----------------------------------------------------------------------
+# Shard execution: gathered sub-schedules (thread and process lanes)
+# ----------------------------------------------------------------------
+def _shard_attrs(sampler: _ColumnSampler, j: int) -> list[str]:
+    """Earlier-column attributes a constrained shard must gather: every
+    active DC's attributes plus the FD-lookup determinants, minus the
+    target's own (not yet sampled) attributes."""
+    w = sampler.wseq[j]
+    if sampler.hyper.is_hyper(w):
+        tattrs = set(sampler.hyper.original_attrs(w))
+    else:
+        tattrs = {w}
+    need: set[str] = set()
+    for dc in sampler.active_at[j]:
+        need |= set(dc.attributes)
+    for fdx in sampler.fd_indexes_for(j):
+        need |= set(fdx.determinant)
+        need.add(fdx.dependent)
+    return sorted(need - tattrs)
+
+
+def _shard_buffers(sampler: _ColumnSampler, j: int, m: int):
+    """Fresh target output buffers for an ``m``-row shard.
+
+    Returns ``(tcols, gw)``: the original-attribute buffers the pass
+    writes (aliasing ``gw`` for non-hyper targets, exactly like
+    ``_allocate_working``) and the working-column buffer itself.
+    """
+    w = sampler.wseq[j]
+    tcols: dict[str, np.ndarray] = {}
+    if sampler.hyper.is_hyper(w):
+        gw = np.zeros(m, dtype=np.int64)
+        for a in sampler.hyper.original_attrs(w):
+            attr = sampler.relation[a]
+            tcols[a] = (np.zeros(m, dtype=np.int64)
+                        if attr.is_categorical
+                        else np.full(m, attr.domain.low, dtype=np.float64))
+    else:
+        attr = sampler.relation[w]
+        gw = (np.zeros(m, dtype=np.int64) if attr.is_categorical
+              else np.full(m, attr.domain.low, dtype=np.float64))
+        tcols[w] = gw
+    return tcols, gw
+
+
+def _gather_base(base, rows):
+    """Row-select a base conditional (numhist bases carry no rows)."""
+    if base[0] == "cat":
+        return ("cat", base[1][rows])
+    if base[0] == "num":
+        return ("num", base[1][rows], base[2][rows])
+    return base
+
+
+def _run_shard_pass(sampler: _ColumnSampler, j: int, base, layout,
+                    noise, gcols: dict, gw: np.ndarray,
+                    specs: list, m: int, max_block: int) -> None:
+    """One gathered constrained sub-schedule, writing ``gw``/``gcols``.
+
+    The pass builds its own (shard-local) violation and FD-lookup
+    indexes: rows outside the shard share no group with rows inside it,
+    so the local indexes answer every probe with exactly the global
+    counts.
+    """
+    wcols_g = {sampler.wseq[j]: gw}
+    col = _ColumnPass(sampler, j, base, layout, noise, gcols, wcols_g)
+    if layout.kind == "cat":
+        col.fill_cat(m, max_block)
+    else:
+        for lo, hi in _conflict_blocks(specs, gcols, m, max_block):
+            col.process_block(lo, hi)
+
+
+def _context_attrs(sampler: _ColumnSampler, j: int) -> list:
+    """Working attributes the base conditional of position ``j`` reads."""
+    w = sampler.wseq[j]
+    if j == 0 or w in sampler.model.independent:
+        return []
+    return list(sampler.model.context_attrs[w])
+
+
+# ----------------------------------------------------------------------
+# Process-pool lane
+# ----------------------------------------------------------------------
+#: The per-process sampler, built once per worker from the pickled
+#: model payload by :func:`_pool_init`.
+_POOL_SAMPLER: _ColumnSampler | None = None
+
+
+def _pool_context():
+    """Prefer fork (cheap, payload inherited); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def _pool_init(model, relation, dcs, weights, params, hyper,
+               use_fd_lookup: bool, use_violation_index: bool) -> None:
+    global _POOL_SAMPLER
+    _POOL_SAMPLER = _ColumnSampler(
+        model, relation, hyper, dcs, weights, params,
+        rng=np.random.default_rng(0), use_fd_lookup=use_fd_lookup,
+        use_violation_index=use_violation_index)
+
+
+def _pool_unconstrained(j: int, lo: int, hi: int, noise_key: tuple,
+                        wctx: dict):
+    """Worker-side contiguous unconstrained shard.
+
+    The base conditional is row-pure, so recomputing it over the
+    gathered context slices equals the parent's full-table slice; the
+    noise key addresses global rows, so the draw is position-exact.
+    """
+    s = _POOL_SAMPLER
+    m = hi - lo
+    base = s.base_distribution(j, wctx, m)
+    layout = _layout_for(s, j, base)
+    tcols, gw = _shard_buffers(s, j, m)
+    noise = _OffsetNoise(_CellNoise(*noise_key), lo)
+    _draw_unconstrained(s, j, base, layout, noise, tcols,
+                        {s.wseq[j]: gw}, 0, m)
+    w = s.wseq[j]
+    members = tcols if s.hyper.is_hyper(w) else {}
+    return gw, members
+
+
+def _pool_constrained(j: int, rows: np.ndarray, noise_key: tuple,
+                      wctx: dict, gctx: dict, specs: list,
+                      max_block: int):
+    """Worker-side group-closed constrained shard (compact spec in,
+    target column slices out)."""
+    s = _POOL_SAMPLER
+    m = rows.shape[0]
+    base = s.base_distribution(j, wctx, m)
+    layout = _layout_for(s, j, base)
+    tcols, gw = _shard_buffers(s, j, m)
+    gcols = dict(gctx)
+    gcols.update(tcols)
+    noise = _GatherNoise(_CellNoise(*noise_key), rows)
+    _run_shard_pass(s, j, base, layout, noise, gcols, gw, specs, m,
+                    max_block)
+    w = s.wseq[j]
+    members = ({a: tcols[a] for a in tcols if a != w}
+               if s.hyper.is_hyper(w) else {})
+    return gw, members
+
+
+def synthesize_row_subprocess(model, relation, dcs, weights, n: int,
+                              params, rng, hyper=None,
+                              use_fd_lookup: bool = False,
+                              use_violation_index: bool = True) -> Table:
+    """Run the legacy row engine in one worker process.
+
+    The row engine is inherently sequential, so ``pool="process"``
+    means "the whole draw in a subprocess" — same computation, other
+    address space, trivially bit-identical.  The parent's rng object is
+    never advanced (the child works on the pickled copy).
+    """
+    with ProcessPoolExecutor(max_workers=1,
+                             mp_context=_pool_context()) as ex:
+        cols = ex.submit(
+            _row_draw_task, model, relation, dcs, weights, n, params,
+            rng, hyper, use_fd_lookup, use_violation_index).result()
+    return Table(relation, cols, validate=False)
+
+
+def _row_draw_task(model, relation, dcs, weights, n, params, rng, hyper,
+                   use_fd_lookup, use_violation_index):
+    table = _synthesize_row(
+        model, relation, dcs, weights, n, params, rng, hyper=hyper,
+        use_fd_lookup=use_fd_lookup,
+        use_violation_index=use_violation_index)
+    return table.columns
+
+
+# ----------------------------------------------------------------------
+# Sharded dispatch (parent side)
+# ----------------------------------------------------------------------
+def _fd_shard_closed(specs: list, fd_indexes: list) -> bool:
+    """True when every FD-lookup determinant group is shard-closed.
+
+    The component partition joins the *spec* partitions, so an FD
+    lookup's forced-value semantics survive sharding iff some spec key
+    is a subset of its determinant (then determinant groups refine that
+    spec's groups and never straddle shards).
+    """
+    return all(
+        any(set(key) <= set(fdx.determinant) for key in specs)
+        for fdx in fd_indexes)
+
+
+def _fill_unconstrained_process(sampler: _ColumnSampler, j: int,
+                                noise_key: tuple, cols: dict,
+                                wcols: dict, n: int, ppool, workers: int,
+                                tracer=None) -> None:
+    """Contiguous unconstrained shards dispatched to worker processes."""
+    ctx = _context_attrs(sampler, j)
+    bounds = np.linspace(0, n, workers + 1).astype(int)
+    spans = [(int(bounds[k]), int(bounds[k + 1]))
+             for k in range(workers) if bounds[k] < bounds[k + 1]]
+    futs = [ppool.submit(_pool_unconstrained, j, lo, hi, noise_key,
+                         {a: wcols[a][lo:hi] for a in ctx})
+            for lo, hi in spans]
+    if tracer is not None:
+        tracer.count("shards", len(spans))
+    results = [f.result() for f in futs]
+    w = sampler.wseq[j]
+    t0 = time.perf_counter()
+    for (lo, hi), (gw, members) in zip(spans, results):
+        wcols[w][lo:hi] = gw
+        for a, vals in members.items():
+            cols[a][lo:hi] = vals
+    if tracer is not None:
+        tracer.count("stitch_us", int((time.perf_counter() - t0) * 1e6))
+
+
+def _run_sharded(sampler: _ColumnSampler, j: int, base, layout,
+                 noise_key: tuple, cols: dict, wcols: dict, specs: list,
+                 shards: list, max_block: int, tpool, ppool,
+                 tracer=None) -> None:
+    """Group-closed constrained shards on the thread or process lane.
+
+    Shard outputs are stitched back by their (disjoint) global row
+    indices; completion order cannot matter.
+    """
+    w = sampler.wseq[j]
+    need = _shard_attrs(sampler, j)
+    ctx = _context_attrs(sampler, j)
+    if ppool is not None:
+        futs = [ppool.submit(_pool_constrained, j, rows, noise_key,
+                             {a: wcols[a][rows] for a in ctx},
+                             {a: cols[a][rows] for a in need},
+                             specs, max_block)
+                for rows in shards]
+        results = [f.result() for f in futs]
+    else:
+        def run(rows: np.ndarray):
+            m = rows.shape[0]
+            gcols = {a: cols[a][rows] for a in need}
+            tcols, gw = _shard_buffers(sampler, j, m)
+            gcols.update(tcols)
+            noise = _GatherNoise(_CellNoise(*noise_key), rows)
+            _run_shard_pass(sampler, j, _gather_base(base, rows),
+                            layout, noise, gcols, gw, specs, m,
+                            max_block)
+            return gw, {a: v for a, v in tcols.items() if a != w}
+
+        results = list(tpool.map(run, shards))
+    t0 = time.perf_counter()
+    for rows, (gw, members) in zip(shards, results):
+        wcols[w][rows] = gw
+        for a, vals in members.items():
+            cols[a][rows] = vals
+    if tracer is not None:
+        tracer.count("stitch_us", int((time.perf_counter() - t0) * 1e6))
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 def synthesize_engine(model, relation, dcs, weights, n: int, params,
                       seed: int, hyper: HyperSpec | None = None,
                       use_fd_lookup: bool = False,
                       use_violation_index: bool = True,
-                      workers: int = 1,
+                      workers: int = 1, pool: str = "thread",
                       max_block_rows: int = MAX_BLOCK_ROWS,
                       noise_chunk: int = NOISE_CHUNK,
                       trace=None) -> Table:
     """Blocked-engine counterpart of :func:`repro.core.sampling.synthesize`.
 
     The output is a deterministic function of the arguments — in
-    particular it does **not** depend on ``workers`` or
+    particular it does **not** depend on ``workers``, ``pool``, or
     ``max_block_rows`` (scheduling knobs only).  ``seed`` keys every
     per-cell noise stream; ``noise_chunk`` is the persisted chunking of
     those streams (model format v2 records it so reloaded models replay
     their draws).
 
+    ``pool`` selects the execution lane for ``workers > 1``:
+    ``"thread"`` shares the parent's arrays (GIL-bound, cheap to start)
+    while ``"process"`` ships each shard as a compact picklable spec to
+    a :class:`~concurrent.futures.ProcessPoolExecutor` whose workers
+    hold their own ``_ColumnSampler`` (built once per worker by
+    :func:`_pool_init`).  Constrained columns additionally shard when
+    their active DCs expose group keys: :func:`_shard_rows` partitions
+    rows into group-closed components, each shard runs a gathered
+    sub-schedule with shard-local indexes, and outputs stitch back by
+    row index — bit-identical to ``workers=1`` because no two rows in
+    different shards can interact and every cell's noise is addressed
+    by its global position.
+
     ``trace`` (a :class:`repro.obs.trace.SampleTrace`) records one
     :class:`~repro.obs.trace.ColumnTrace` per working column: wall
     clock, lane (``unconstrained``/``cat-fd-lane``/``cat-generic``/
-    ``num-blocked``/``num-sequential``), block sizes, re-scored/forced
-    rows, and index probe counts.  Tracing reads no randomness — a
-    traced draw is bit-identical to an untraced one — and ``None``
-    costs nothing.
+    ``num-blocked``/``num-sequential``, plus ``cat-sharded``/
+    ``num-sharded`` with ``shards``/``stitch_us`` counters when a
+    constrained column splits), block sizes, re-scored/forced rows, and
+    index probe counts.  Tracing reads no randomness — a traced draw is
+    bit-identical to an untraced one — and ``None`` costs nothing.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
+    if pool not in ("thread", "process"):
+        raise ValueError(f"pool must be 'thread' or 'process', got {pool!r}")
     if hyper is None:
         hyper = HyperSpec.trivial(relation, model.sequence)
     master = int(seed)
@@ -930,7 +1469,19 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
     cols = _allocate_columns(relation, n)
     wcols = _allocate_working(sampler, cols, n)
 
-    pool = ThreadPoolExecutor(max_workers=workers) if workers > 1 else None
+    # Pools only pay off past the sharding floor; below it every column
+    # runs inline regardless of ``workers``.
+    pooled = workers > 1 and n >= max(2 * _MIN_SHARD_ROWS, workers)
+    tpool = ppool = None
+    if pooled:
+        if pool == "process":
+            ppool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context(),
+                initializer=_pool_init,
+                initargs=(model, relation, dcs, weights, params, hyper,
+                          use_fd_lookup, use_violation_index))
+        else:
+            tpool = ThreadPoolExecutor(max_workers=workers)
     try:
         for j in range(len(sampler.wseq)):
             col_trace = None
@@ -945,23 +1496,44 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
             if not active and not fd_indexes:
                 if col_trace is not None:
                     col_trace.mode = "unconstrained"
-                _fill_unconstrained(sampler, j, base, layout, noise_key,
-                                    cols, wcols, n, pool, workers,
-                                    tracer=col_trace)
-            elif n > 0:
-                col = _ColumnPass(sampler, j, base, layout,
-                                  _CellNoise(*noise_key), cols, wcols,
-                                  fd_indexes, tracer=col_trace)
-                if layout.kind == "cat":
-                    # Candidates are the fixed code domain: score whole
-                    # blocks optimistically, validate per row.
-                    col.fill_cat(n, max_block_rows)
+                if ppool is not None:
+                    _fill_unconstrained_process(
+                        sampler, j, noise_key, cols, wcols, n, ppool,
+                        workers, tracer=col_trace)
                 else:
-                    # Numerical candidates depend on the prefix (hard-DC
-                    # augmentation): only schedule provably disjoint
-                    # rows together.
-                    specs = _conflict_keys(sampler, j)
-                    if specs is None:
+                    _fill_unconstrained(sampler, j, base, layout,
+                                        noise_key, cols, wcols, n,
+                                        tpool, workers, tracer=col_trace)
+            elif n > 0:
+                specs = _conflict_keys(sampler, j)
+                shards = None
+                if (pooled and params.mcmc_m == 0 and specs is not None
+                        and sampler.fresh_value_tracker(j) is None
+                        and _fd_shard_closed(specs, fd_indexes)):
+                    shards = _shard_rows(specs, cols, n, workers)
+                if shards is not None:
+                    if col_trace is not None:
+                        col_trace.mode = (
+                            "cat-sharded" if layout.kind == "cat"
+                            else "num-sharded")
+                        col_trace.count("shards", len(shards))
+                    _run_sharded(sampler, j, base, layout, noise_key,
+                                 cols, wcols, specs, shards,
+                                 max_block_rows, tpool, ppool,
+                                 tracer=col_trace)
+                else:
+                    col = _ColumnPass(sampler, j, base, layout,
+                                      _CellNoise(*noise_key), cols,
+                                      wcols, fd_indexes,
+                                      tracer=col_trace)
+                    if layout.kind == "cat":
+                        # Candidates are the fixed code domain: score
+                        # whole blocks optimistically, validate per row.
+                        col.fill_cat(n, max_block_rows)
+                    elif specs is None:
+                        # Numerical candidates depend on the prefix
+                        # (hard-DC augmentation): conflict-all columns
+                        # stay sequential.
                         if col_trace is not None:
                             col_trace.mode = "num-sequential"
                         col.fill_numeric_sequential(n)
@@ -981,6 +1553,94 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
                     np.random.SeedSequence([master, 2 * j + 1])))
                 _mcmc_resample(sampler, j, cols, wcols, n, params.mcmc_m)
     finally:
-        if pool is not None:
-            pool.shutdown(wait=True)
+        if tpool is not None:
+            tpool.shutdown(wait=True)
+        if ppool is not None:
+            ppool.shutdown(wait=True)
     return Table(relation, cols, validate=False)
+
+
+# ----------------------------------------------------------------------
+# Streaming entry point
+# ----------------------------------------------------------------------
+def synthesize_stream(model, relation, dcs, weights, n: int, params,
+                      seed: int, hyper: HyperSpec | None = None,
+                      use_fd_lookup: bool = False,
+                      use_violation_index: bool = True,
+                      chunk_rows: int = STREAM_CHUNK_ROWS,
+                      max_block_rows: int = MAX_BLOCK_ROWS,
+                      noise_chunk: int = NOISE_CHUNK):
+    """Yield the blocked-engine draw of ``n`` rows in bounded chunks.
+
+    Concatenating the yielded :class:`Table` chunks (in order) is
+    bit-identical to ``synthesize_engine(..., workers=1)`` with the
+    same arguments: each cell's noise is addressed by its *global* row
+    (``_OffsetNoise`` over the same keyed streams), chunk and block
+    boundaries are pure scheduling, and the per-column constraint state
+    (:class:`_PassState`: violation indexes, FD lookups, used-value
+    sets) persists across chunks exactly as one long pass would build
+    it.  Peak memory holds one ``chunk_rows``-row table plus that
+    per-column index state — never the full ``n`` rows.
+
+    Columns run in ``strict`` mode: a DC whose exact answer would need
+    the full sampled prefix (no violation index, non-unary) raises
+    :class:`~repro.core.sampling.PrefixScanRequired` instead of
+    silently answering from the chunk-local prefix — streaming never
+    trades exactness for memory.  ``mcmc_m > 0`` is rejected for the
+    same reason (the refinement re-reads the whole instance).
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    if params.mcmc_m > 0:
+        raise ValueError(
+            "streaming draws require mcmc_m == 0: the MCMC refinement "
+            "re-reads the full instance")
+    if hyper is None:
+        hyper = HyperSpec.trivial(relation, model.sequence)
+    master = int(seed)
+    sampler = _ColumnSampler(
+        model, relation, hyper, dcs, weights, params,
+        rng=np.random.default_rng(0), use_fd_lookup=use_fd_lookup,
+        use_violation_index=use_violation_index)
+    ncols = len(sampler.wseq)
+    states: list[_PassState | None] = []
+    for j in range(ncols):
+        fd_indexes = sampler.fd_indexes_for(j)
+        if sampler.active_at[j] or fd_indexes:
+            states.append(_PassState(
+                vio=sampler.violation_indexes_for(j),
+                fd_indexes=fd_indexes,
+                used=sampler.fresh_value_tracker(j)))
+        else:
+            states.append(None)
+    specs_of = [_conflict_keys(sampler, j) for j in range(ncols)]
+    layouts: list[_Layout | None] = [None] * ncols
+    noises: list[_CellNoise | None] = [None] * ncols
+    for off in range(0, n, chunk_rows):
+        m = min(chunk_rows, n - off)
+        cols = _allocate_columns(relation, m)
+        wcols = _allocate_working(sampler, cols, m)
+        for j in range(ncols):
+            base = sampler.base_distribution(j, wcols, m)
+            if layouts[j] is None:
+                layouts[j] = _layout_for(sampler, j, base)
+                noises[j] = _CellNoise(master, 2 * j, layouts[j].stride,
+                                       noise_chunk, n)
+            layout = layouts[j]
+            noise = _OffsetNoise(noises[j], off)
+            if states[j] is None:
+                _draw_unconstrained(sampler, j, base, layout, noise,
+                                    cols, wcols, 0, m)
+            else:
+                col = _ColumnPass(sampler, j, base, layout, noise,
+                                  cols, wcols, state=states[j],
+                                  strict=True, row_offset=off)
+                if layout.kind == "cat":
+                    col.fill_cat(m, max_block_rows)
+                elif specs_of[j] is None:
+                    col.fill_numeric_sequential(m)
+                else:
+                    for lo, hi in _conflict_blocks(specs_of[j], cols, m,
+                                                   max_block_rows):
+                        col.process_block(lo, hi)
+        yield Table(relation, cols, validate=False)

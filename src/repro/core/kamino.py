@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import os
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -64,6 +65,25 @@ from repro.schema.table import Table
 
 _WEIGHT_ESTIMATORS = ("matrix", "capped")
 _ENGINES = ("blocked", "row")
+_POOLS = ("thread", "process")
+
+
+def _resolve_workers(workers: int, engine: str, pool: str) -> int:
+    """Resolve ``workers=0`` ("auto") at draw time.
+
+    Auto means ``os.cpu_count()`` for lanes that can shard; the
+    sequential row engine's thread lane resolves to 1 (there is nothing
+    to shard there).  The literal 0 is what configs persist — a model
+    artifact never bakes in one machine's core count.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 1, or 0 for auto, "
+                         f"got {workers}")
+    if workers != 0:
+        return workers
+    if engine == "row" and pool == "thread":
+        return 1
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -116,11 +136,27 @@ class KaminoConfig:
         sample the same distribution; they differ only in rng scheme
         and speed.
     workers:
-        Default thread count for :meth:`FittedKamino.sample` (the
-        per-call ``workers=`` argument overrides it).  Only the blocked
-        engine uses it — unconstrained column passes are sharded over a
-        thread pool — and the drawn instance is bit-identical for any
-        worker count (a scheduling knob, never a semantics knob).
+        Default worker count for :meth:`FittedKamino.sample` (the
+        per-call ``workers=`` argument overrides it).  ``0`` means
+        "auto": resolve from ``os.cpu_count()`` at draw time — the
+        literal ``0`` is what persists in model v2, never a
+        machine-specific count.  Only the blocked engine shards on it —
+        unconstrained passes over contiguous spans, constrained passes
+        over group-disjoint sub-schedules — and the drawn instance is
+        bit-identical for any worker count (a scheduling knob, never a
+        semantics knob).
+    pool:
+        Execution lane for ``workers > 1``: ``"thread"`` (default,
+        shared-memory, GIL-bound) or ``"process"`` (worker processes
+        holding their own sampler; shards travel as compact picklable
+        specs and stitch back bit-identically).  Under
+        ``engine="row"``, ``pool="process"`` runs the whole sequential
+        draw in one subprocess.  Pure scheduling: never changes a cell.
+    stream_chunk_rows:
+        Default chunk size of :meth:`FittedKamino.sample_stream` (rows
+        per yielded table; the per-call ``chunk_rows=`` argument
+        overrides it).  Pure scheduling — concatenated chunks are
+        bit-identical to the single-shot draw at any value.
     max_block_rows:
         Cap on the blocked engine's conflict-free block length.  Larger
         blocks amortise more Python per probe but widen the peak
@@ -143,7 +179,9 @@ class KaminoConfig:
     weight_estimator: str = "matrix"
     engine: str = "blocked"
     workers: int = 1
+    pool: str = "thread"
     max_block_rows: int = 512
+    stream_chunk_rows: int = 65536
 
     def __post_init__(self):
         object.__setattr__(self, "epsilon", float(self.epsilon))
@@ -167,11 +205,19 @@ class KaminoConfig:
         if self.engine not in _ENGINES:
             raise ValueError(
                 f"engine must be one of {_ENGINES}, got {self.engine!r}")
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.workers < 0:
+            raise ValueError(
+                f"workers must be >= 1, or 0 for auto, got {self.workers}")
+        if self.pool not in _POOLS:
+            raise ValueError(
+                f"pool must be one of {_POOLS}, got {self.pool!r}")
         if self.max_block_rows < 1:
             raise ValueError(
                 f"max_block_rows must be >= 1, got {self.max_block_rows}")
+        if self.stream_chunk_rows < 1:
+            raise ValueError(
+                f"stream_chunk_rows must be >= 1, "
+                f"got {self.stream_chunk_rows}")
 
     @property
     def private(self) -> bool:
@@ -269,7 +315,7 @@ class FittedKamino:
 
     def sample(self, n: int | None = None, seed: int | None = None,
                workers: int | None = None, engine: str | None = None,
-               trace=None) -> KaminoResult:
+               pool: str | None = None, trace=None) -> KaminoResult:
         """Draw a synthetic instance (Algorithm 3, post-processing).
 
         ``n`` defaults to the fitted input size.  ``seed=None`` draws
@@ -282,16 +328,24 @@ class FittedKamino:
         ``engine`` overrides the fitted ``config.engine`` for this draw:
         ``"blocked"`` is the block-scheduled vectorized engine,
         ``"row"`` the legacy loop for exact replay of pre-engine
-        outputs.  ``workers`` (default: ``config.workers``) shards the
-        blocked engine's unconstrained column passes over a thread pool.
+        outputs.  ``workers`` (default: ``config.workers``; ``0`` =
+        auto from ``os.cpu_count()``) shards the blocked engine's
+        column passes — unconstrained ones over contiguous spans,
+        constrained ones over group-disjoint sub-schedules — and
+        ``pool`` (default: ``config.pool``) picks the ``"thread"`` or
+        ``"process"`` lane.  Under ``engine="row"``,
+        ``pool="process"`` runs the whole sequential draw in one
+        subprocess (``workers`` stays 1; with a ``trace`` the draw runs
+        in-process so the trace object can be populated).
 
         **Determinism guarantees.**  For a given fitted model, the drawn
         instance is a pure function of ``(n, seed, engine)``:
 
         * the blocked engine keys every cell's noise off counter-based
-          Philox streams, so ``workers``, ``config.max_block_rows``, and
-          ``config.use_violation_index`` are pure scheduling knobs —
-          any combination yields bit-identical output;
+          Philox streams, so ``workers``, ``pool``,
+          ``config.max_block_rows``, and ``config.use_violation_index``
+          are pure scheduling knobs — any combination yields
+          bit-identical output;
         * the row engine replays the single legacy numpy stream, so
           equal seeds give equal draws (and ``seed=None`` resumes the
           fit-time rng, reproducing the fused pipeline exactly);
@@ -306,18 +360,25 @@ class FittedKamino:
         n_out = self.default_n if n is None else int(n)
         cfg = self.config
         engine = cfg.engine if engine is None else engine
+        pool = cfg.pool if pool is None else pool
         workers = cfg.workers if workers is None else int(workers)
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, "
                              f"got {engine!r}")
+        if pool not in _POOLS:
+            raise ValueError(f"pool must be one of {_POOLS}, "
+                             f"got {pool!r}")
+        workers = _resolve_workers(workers, engine, pool)
         if workers != 1 and engine != "blocked":
             raise ValueError("workers != 1 requires engine='blocked' "
-                             "(the row engine is sequential)")
+                             "(the row engine is sequential; use "
+                             "pool='process' to move its draw off the "
+                             "main process)")
         sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
         run_trace = None
         if trace is not None:
             run_trace = trace.begin_sample(engine, n_out, seed,
-                                           workers=workers)
+                                           workers=workers, pool=pool)
         start = time.perf_counter()
         if engine == "blocked":
             from repro.core.engine import NOISE_CHUNK, synthesize_engine
@@ -336,8 +397,16 @@ class FittedKamino:
                 n_out, self.params, master, hyper=self.hyper,
                 use_fd_lookup=cfg.use_fd_lookup,
                 use_violation_index=cfg.use_violation_index,
-                workers=workers, max_block_rows=cfg.max_block_rows,
+                workers=workers, pool=pool,
+                max_block_rows=cfg.max_block_rows,
                 noise_chunk=chunk, trace=run_trace)
+        elif pool == "process" and run_trace is None:
+            from repro.core.engine import synthesize_row_subprocess
+            synthetic = synthesize_row_subprocess(
+                self.model, self.relation, sampled_dcs, self.weights,
+                n_out, self.params, self._sampling_rng(seed),
+                hyper=self.hyper, use_fd_lookup=cfg.use_fd_lookup,
+                use_violation_index=cfg.use_violation_index)
         else:
             rng = self._sampling_rng(seed)
             synthetic = synthesize(
@@ -350,6 +419,65 @@ class FittedKamino:
         if run_trace is not None:
             run_trace.finish(seconds)
         return self._result(synthetic, seconds)
+
+    def sample_stream(self, n: int | None = None, seed: int | None = None,
+                      chunk_rows: int | None = None,
+                      engine: str | None = None):
+        """Draw ``n`` rows as an iterator of bounded-memory table chunks.
+
+        Concatenating the yielded :class:`Table` chunks in order is
+        bit-identical to ``sample(n, seed).table`` — chunking is pure
+        scheduling (see :func:`repro.core.engine.synthesize_stream`).
+        ``chunk_rows`` defaults to ``config.stream_chunk_rows``.  Under
+        the blocked engine, peak memory holds one chunk plus the
+        per-column constraint-index state, never the full ``n`` rows —
+        this is the lane behind ``repro-kamino sample --out`` streaming
+        n=10M draws straight to disk.  The row engine is sequential
+        with a full in-memory prefix by construction, so there it
+        materializes the draw once and slices it (bounded *output*
+        granularity, not bounded peak).
+
+        Requires ``mcmc_m == 0`` (the refinement re-reads the whole
+        instance); a DC that cannot be answered from the violation
+        indexes raises :class:`~repro.core.sampling.PrefixScanRequired`
+        rather than silently answering from a partial prefix.
+        """
+        n_out = self.default_n if n is None else int(n)
+        cfg = self.config
+        engine = cfg.engine if engine is None else engine
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, "
+                             f"got {engine!r}")
+        chunk = (cfg.stream_chunk_rows if chunk_rows is None
+                 else int(chunk_rows))
+        if chunk < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk}")
+        sampled_dcs = self.dcs if cfg.constraint_aware_sampling else []
+        if engine == "blocked":
+            from repro.core.engine import NOISE_CHUNK, synthesize_stream
+            spec = self.rng_spec or {}
+            scheme = spec.get("scheme", "philox-cell")
+            if scheme != "philox-cell":
+                raise ValueError(
+                    f"model was fitted under rng scheme {scheme!r}, "
+                    f"which this version cannot reproduce")
+            master = int(cfg.seed if seed is None else seed)
+            return synthesize_stream(
+                self.model, self.relation, sampled_dcs, self.weights,
+                n_out, self.params, master, hyper=self.hyper,
+                use_fd_lookup=cfg.use_fd_lookup,
+                use_violation_index=cfg.use_violation_index,
+                chunk_rows=chunk, max_block_rows=cfg.max_block_rows,
+                noise_chunk=spec.get("chunk", NOISE_CHUNK))
+        return self._row_stream(n_out, seed, chunk)
+
+    def _row_stream(self, n_out: int, seed, chunk: int):
+        table = self.sample(n=n_out, seed=seed, engine="row").table
+        for lo in range(0, n_out, chunk):
+            hi = min(lo + chunk, n_out)
+            yield Table(self.relation,
+                        {a: table.column(a)[lo:hi]
+                         for a in self.relation.names}, validate=False)
 
     def sample_ar(self, n: int | None = None, seed: int | None = None,
                   max_tries: int = 300, trace=None) -> KaminoResult:
@@ -444,7 +572,9 @@ class Kamino:
                  weight_estimator: str = _UNSET,
                  engine: str = _UNSET,
                  workers: int = _UNSET,
+                 pool: str = _UNSET,
                  max_block_rows: int = _UNSET,
+                 stream_chunk_rows: int = _UNSET,
                  config: KaminoConfig | None = None):
         knobs = {
             name: value for name, value in (
@@ -460,7 +590,9 @@ class Kamino:
                 ("weight_estimator", weight_estimator),
                 ("engine", engine),
                 ("workers", workers),
+                ("pool", pool),
                 ("max_block_rows", max_block_rows),
+                ("stream_chunk_rows", stream_chunk_rows),
             ) if value is not _UNSET}
         if config is None:
             if epsilon is None:

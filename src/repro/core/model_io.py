@@ -63,7 +63,8 @@ _PERSISTED_CONFIG = ("epsilon", "delta", "seed", "group_max_domain",
                      "large_domain_threshold", "use_fd_lookup",
                      "use_violation_index", "parallel_training",
                      "random_sequence", "constraint_aware_sampling",
-                     "weight_estimator", "engine", "workers", "max_block_rows")
+                     "weight_estimator", "engine", "workers", "pool",
+                     "max_block_rows", "stream_chunk_rows")
 
 
 def _histogram_meta(hist: HistogramModel) -> dict:

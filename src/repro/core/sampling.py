@@ -62,6 +62,16 @@ from repro.schema.table import Table
 HARD_WEIGHT = 1e9
 
 
+class PrefixScanRequired(RuntimeError):
+    """An exact answer would need the full sampled prefix arrays.
+
+    Raised in *strict* mode (streaming chunked draws, which retain only
+    the incremental violation indexes — not the prefix itself) when a
+    DC shape has no index-served path.  Single-shot draws never strict
+    and simply scan.
+    """
+
+
 def _log_normalise_sample(log_p: np.ndarray, rng: np.random.Generator) -> int:
     """Sample an index from unnormalised log probabilities."""
     shifted = log_p - log_p.max()
@@ -171,10 +181,22 @@ class _ColumnSampler:
                 return ("cat", logp)
             return ("numhist", hist)
         batch_cols = {a: wcols[a] for a in self.model.context_attrs[w]}
+        # BLAS routes a 1-row batch through a different kernel (gemv)
+        # whose reduction order can drift an ulp from the row-sliced
+        # gemm of a larger batch.  Duplicate the row so every schedule
+        # (single-shot, sharded, streamed) sees the same row-pure gemm.
+        pad = n == 1
+        if pad:
+            batch_cols = {a: np.repeat(c[:1], 2)
+                          for a, c in batch_cols.items()}
         if wattr.is_categorical:
             probs = self.model.conditional(w, batch_cols)
+            if pad:
+                probs = probs[:1]
             return ("cat", np.log(np.maximum(probs, 1e-300)))
         mu, sigma = self.model.conditional(w, batch_cols)
+        if pad:
+            mu, sigma = mu[:1], sigma[:1]
         return ("num", mu, np.maximum(sigma, 1e-9))
 
     def candidates_for_row(self, j: int, base, i: int,
@@ -236,23 +258,32 @@ class _ColumnSampler:
     def _consistent_values(self, j: int, target: str, cols: dict,
                            i: int, limit: int = 4,
                            indexes: dict[str, ViolationIndex] | None = None,
-                           ) -> np.ndarray:
+                           strict: bool = False,
+                           prefix_rows: int | None = None) -> np.ndarray:
         """Target values of prefix rows matching row ``i`` on the other
         attributes of each active hard DC (always violation-free for
         two-tuple DCs against those rows).
 
-        When an FD violation index covering the prefix is available its
-        determinant group gives the matched values in O(group) — the
-        sorted-distinct set is identical to the ``np.unique`` scan.
+        When a violation index covering the prefix is available it
+        replaces the scan exactly: an FD determinant group (or its
+        reverse histogram lookup when the target sits *inside* the
+        determinant) and an order group's point arrays yield the same
+        sorted-distinct sets as ``np.unique`` over the prefix.  In
+        ``strict`` mode (streaming — the prefix arrays are gone) a DC
+        with no index-served path raises :class:`PrefixScanRequired`.
+        ``prefix_rows`` is the number of rows already sampled *globally*
+        when it differs from ``i`` (chunked draws).
         """
+        hist = i if prefix_rows is None else prefix_rows
         values: list[float] = []
         for dc in self.active_at[j]:
             if not dc.hard or dc.is_unary or target not in dc.attributes:
                 continue
             others = [a for a in dc.attributes if a != target]
-            if not others or i == 0:
+            if not others or hist == 0:
                 continue
             index = indexes.get(dc.name) if indexes else None
+            matched: list | None = None
             if (isinstance(index, OrderViolationIndex)
                     and target in (index.greater_attr, index.less_attr)):
                 partner = (index.less_attr
@@ -272,18 +303,39 @@ class _ColumnSampler:
                     if above_min is not None:
                         values.append(above_min)
                     continue
-            if (isinstance(index, FDViolationIndex)
-                    and index.dependent == target):
-                key_row = {a: cols[a][i] for a in index.determinant}
-                values.extend(index.dependents_of(key_row)[:limit])
-            else:
+                points = index.group_points(
+                    {a: cols[a][i] for a in index.eq_attrs})
+                if points is None:
+                    matched = []  # empty group == empty scan mask
+                else:
+                    t_vals, p_vals = ((points[0], points[1])
+                                      if target == index.greater_attr
+                                      else (points[1], points[0]))
+                    sel = np.asarray(p_vals) == cols[partner][i]
+                    matched = np.unique(
+                        np.asarray(t_vals)[sel])[:limit].tolist()
+            elif isinstance(index, FDViolationIndex):
+                if index.dependent == target:
+                    key_row = {a: cols[a][i] for a in index.determinant}
+                    matched = index.dependents_of(key_row)[:limit]
+                else:
+                    row = {a: cols[a][i] for a in dc.attributes}
+                    matched = index.matched_det_values(target,
+                                                       row)[:limit]
+            if matched is None:
+                if strict:
+                    raise PrefixScanRequired(
+                        f"DC {dc.name!r} (target {target!r}) has no "
+                        f"index-served consistent-value path")
                 mask = np.ones(i, dtype=bool)
                 for a in others:
                     mask &= cols[a][:i] == cols[a][i]
-                matched = np.unique(cols[target][:i][mask])
-                values.extend(matched[:limit].tolist())
+                matched = np.unique(
+                    cols[target][:i][mask])[:limit].tolist()
+            values.extend(matched)
             values.extend(self._order_interval(dc, target, cols, i,
-                                               index=index))
+                                               index=index,
+                                               strict=strict))
         if not values:
             return np.empty(0, dtype=np.float64)
         # sorted-distinct == np.unique, without the array machinery
@@ -314,7 +366,8 @@ class _ColumnSampler:
     def _fresh_values(self, j: int, target: str, cols: dict, i: int,
                       limit: int = 2, tries: int = 24,
                       used: set | None = None,
-                      uniforms: np.ndarray | None = None) -> np.ndarray:
+                      uniforms: np.ndarray | None = None,
+                      prefix_rows: int | None = None) -> np.ndarray:
         """Unused domain values for determinants of active hard FDs.
 
         A key-like numerical attribute (e.g. TPC-H's ``c_custkey``) gets
@@ -335,7 +388,8 @@ class _ColumnSampler:
             dc.hard and (shape := dc.as_fd()) is not None
             and target in shape[0]
             for dc in self.active_at[j])
-        if not is_fd_det or i == 0:
+        hist = i if prefix_rows is None else prefix_rows
+        if not is_fd_det or hist == 0:
             return np.empty(0, dtype=np.float64)
         attr = self.relation[target]
         if not attr.is_numerical:
@@ -369,7 +423,8 @@ class _ColumnSampler:
         return np.asarray(out, dtype=np.float64)
 
     def _order_interval(self, dc, target: str, cols: dict, i: int,
-                        index: ViolationIndex | None = None) -> list[float]:
+                        index: ViolationIndex | None = None,
+                        strict: bool = False) -> list[float]:
         """Feasible-interval endpoints for conditional-order hard DCs.
 
         For ``not(E= and A> and B<)`` with the prefix consistent, the
@@ -401,6 +456,10 @@ class _ColumnSampler:
             t_vals = a_vals if target == greater_attr else b_vals
             p_vals = b_vals if target == greater_attr else a_vals
         else:
+            if strict:
+                raise PrefixScanRequired(
+                    f"DC {dc.name!r} (target {target!r}) has no order "
+                    f"index covering the prefix")
             mask = np.ones(i, dtype=bool)
             for a in eq_attrs:
                 mask &= cols[a][:i] == cols[a][i]

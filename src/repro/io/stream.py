@@ -1,0 +1,154 @@
+"""Streaming table writers: chunked draws to disk, never the full table.
+
+:meth:`FittedKamino.sample_stream` yields bounded-memory
+:class:`~repro.schema.table.Table` chunks; the writers here append them
+to a single on-disk table so an n=10M draw streams straight through a
+fixed-size buffer.  Formats, picked from the file suffix:
+
+* ``.csv`` — always available (stdlib ``csv``): decoded values with a
+  header row, readable back by :meth:`Table.from_csv`;
+* ``.parquet`` — columnar with row groups, one per chunk;
+* ``.arrow`` / ``.feather`` — the Arrow IPC file format, one record
+  batch per chunk.
+
+The columnar formats need ``pyarrow``, which the toolchain does not
+bundle; opening them without it raises a clear error naming the gap
+(CSV keeps working regardless).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+#: File suffix -> stream format; suffixes outside this map are not
+#: streamable table files (the CLI treats them as bundle directories).
+STREAM_SUFFIXES = {
+    ".csv": "csv",
+    ".parquet": "parquet",
+    ".arrow": "arrow",
+    ".feather": "feather",
+}
+
+
+def stream_format_for(path: str) -> str | None:
+    """The stream format a path's suffix selects, or None."""
+    return STREAM_SUFFIXES.get(os.path.splitext(path)[1].lower())
+
+
+def decode_columns(table) -> dict[str, np.ndarray]:
+    """Vectorized :meth:`Table.decoded_row` over a whole chunk:
+    categorical codes become raw domain values, numericals pass
+    through as float64."""
+    out: dict[str, np.ndarray] = {}
+    for attr in table.relation:
+        col = table.column(attr.name)
+        if attr.is_categorical:
+            values = np.asarray(attr.domain.values, dtype=object)
+            out[attr.name] = values[col]
+        else:
+            out[attr.name] = col
+    return out
+
+
+class _CsvStreamWriter:
+    def __init__(self, path: str, relation):
+        self.relation = relation
+        self.rows = 0
+        self._file = open(path, "w", newline="")
+        self._writer = csv.writer(self._file)
+        self._writer.writerow(relation.names)
+
+    def write(self, table) -> None:
+        decoded = decode_columns(table)
+        columns = [decoded[name].tolist() for name in self.relation.names]
+        self._writer.writerows(zip(*columns))
+        self.rows += table.n
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class _ArrowStreamWriter:
+    """Parquet / Arrow-IPC writer, one row group (record batch) per
+    chunk.  Requires ``pyarrow``."""
+
+    def __init__(self, path: str, relation, fmt: str):
+        try:
+            import pyarrow as pa
+        except ImportError as exc:  # pragma: no cover - env-dependent
+            raise RuntimeError(
+                f"writing {fmt!r} needs pyarrow, which is not installed "
+                f"in this environment; stream to a .csv path instead"
+            ) from exc
+        self._pa = pa
+        self.relation = relation
+        self.rows = 0
+        fields = []
+        for attr in relation:
+            if attr.is_categorical:
+                sample = attr.domain.values[0] if attr.domain.values else ""
+                typ = (pa.string() if isinstance(sample, str)
+                       else pa.from_numpy_dtype(np.asarray(sample).dtype))
+            else:
+                typ = pa.float64()
+            fields.append(pa.field(attr.name, typ))
+        self._schema = pa.schema(fields)
+        if fmt == "parquet":
+            import pyarrow.parquet as pq
+            self._writer = pq.ParquetWriter(path, self._schema)
+            self._write_batch = self._write_parquet
+        else:
+            self._sink = pa.OSFile(path, "wb")
+            self._writer = pa.ipc.new_file(self._sink, self._schema)
+            self._write_batch = self._write_ipc
+
+    def _batch(self, table):
+        decoded = decode_columns(table)
+        arrays = [self._pa.array(decoded[f.name].tolist(), type=f.type)
+                  for f in self._schema]
+        return self._pa.record_batch(arrays, schema=self._schema)
+
+    def _write_parquet(self, batch) -> None:
+        self._writer.write_table(self._pa.Table.from_batches([batch]))
+
+    def _write_ipc(self, batch) -> None:
+        self._writer.write_batch(batch)
+
+    def write(self, table) -> None:
+        self._write_batch(self._batch(table))
+        self.rows += table.n
+
+    def close(self) -> None:
+        self._writer.close()
+        if hasattr(self, "_sink"):
+            self._sink.close()
+
+
+def open_stream_writer(path: str, relation, fmt: str | None = None):
+    """A chunk writer for ``path`` (format from suffix unless given)."""
+    fmt = fmt or stream_format_for(path)
+    if fmt is None:
+        raise ValueError(
+            f"cannot infer a stream format from {path!r}; expected a "
+            f"suffix in {sorted(STREAM_SUFFIXES)}")
+    if fmt == "csv":
+        return _CsvStreamWriter(path, relation)
+    if fmt in ("parquet", "arrow", "feather"):
+        return _ArrowStreamWriter(path, relation, fmt)
+    raise ValueError(f"unknown stream format {fmt!r}")
+
+
+def write_table_stream(path: str, relation, chunks,
+                       fmt: str | None = None) -> int:
+    """Drain ``chunks`` (an iterable of Tables) into ``path``; returns
+    the total row count.  Peak memory holds one chunk."""
+    writer = open_stream_writer(path, relation, fmt)
+    try:
+        for chunk in chunks:
+            writer.write(chunk)
+    finally:
+        writer.close()
+    return writer.rows

@@ -113,11 +113,13 @@ class SampleTrace:
     """Telemetry of one :meth:`FittedKamino.sample` (or ``sample_ar``)
     run: draw parameters, total wall-clock, and per-column passes."""
 
-    def __init__(self, engine: str, n: int, seed, workers: int = 1):
+    def __init__(self, engine: str, n: int, seed, workers: int = 1,
+                 pool: str = "thread"):
         self.engine = engine
         self.n = int(n)
         self.seed = None if seed is None else int(seed)
         self.workers = int(workers)
+        self.pool = pool
         self.seconds = 0.0
         self.columns: list[ColumnTrace] = []
 
@@ -148,6 +150,7 @@ class SampleTrace:
             "n": self.n,
             "seed": self.seed,
             "workers": self.workers,
+            "pool": self.pool,
             "seconds": round(self.seconds, 6),
             "rows_per_sec": _rps(self.n, self.seconds),
             "columns": [col.to_dict() for col in self.columns],
@@ -181,9 +184,9 @@ class RunTrace:
             elapsed = time.perf_counter() - start
             self.fit_phases[name] = self.fit_phases.get(name, 0.0) + elapsed
 
-    def begin_sample(self, engine: str, n: int, seed,
-                     workers: int = 1) -> SampleTrace:
-        run = SampleTrace(engine, n, seed, workers)
+    def begin_sample(self, engine: str, n: int, seed, workers: int = 1,
+                     pool: str = "thread") -> SampleTrace:
+        run = SampleTrace(engine, n, seed, workers, pool=pool)
         self.samples.append(run)
         return run
 
@@ -226,7 +229,7 @@ class RunTrace:
             seed = "-" if run.seed is None else run.seed
             lines.append(
                 f"  sample[{k}]: engine={run.engine} n={run.n} "
-                f"seed={seed} workers={run.workers} — "
+                f"seed={seed} workers={run.workers} pool={run.pool} — "
                 f"{run.seconds:.2f}s ({_rps(run.n, run.seconds):,.0f} "
                 f"rows/s)")
             if not run.columns:

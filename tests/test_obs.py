@@ -176,9 +176,15 @@ def test_workers_knob_resolves_from_config():
 
 def test_config_validates_new_knobs():
     with pytest.raises(ValueError, match="workers"):
-        KaminoConfig(epsilon=1.0, workers=0)
+        KaminoConfig(epsilon=1.0, workers=-1)
     with pytest.raises(ValueError, match="max_block_rows"):
         KaminoConfig(epsilon=1.0, max_block_rows=0)
+    with pytest.raises(ValueError, match="pool"):
+        KaminoConfig(epsilon=1.0, pool="fiber")
+    with pytest.raises(ValueError, match="stream_chunk_rows"):
+        KaminoConfig(epsilon=1.0, stream_chunk_rows=0)
+    # 0 is the validated "auto" sentinel, resolved at draw time.
+    assert KaminoConfig(epsilon=1.0, workers=0).workers == 0
 
 
 # ----------------------------------------------------------------------
