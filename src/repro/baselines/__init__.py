@@ -16,17 +16,26 @@ papers, at reduced scale:
   pipeline (McKenna et al. 2019): Gaussian-noised 1-way and selected
   2-way marginals fitted with a spanning-tree graphical model;
 * :func:`repair_violations` — the HoloClean-style cleaning step used in
-  Figure 1 to show that post-hoc repair hurts utility.
+  Figure 1 to show that post-hoc repair hurts utility — and
+  :class:`Cleaning`, the same repair packaged as a synthesizer
+  wrapping an inner backend.
 
-All synthesizers share the interface
-``fit_sample(table, n=None) -> Table`` and i.i.d.-sample tuples — which
-is precisely why they fail the DC-preservation metric (Table 2).
+Every synthesizer implements the staged protocol of
+:mod:`repro.synth`: ``fit(table) -> fitted`` runs the budget-consuming
+phases once (each mechanism's spend recorded in the artifact's
+ledger); ``fitted.sample(n, seed)`` draws tables as free seeded
+post-processing; ``fit_sample(table, n)`` remains as the fused
+convenience, bit-identical to the historical one-shot implementations.
+All the baselines i.i.d.-sample tuples — which is precisely why they
+fail the DC-preservation metric (Table 2); ``cleaning`` repairs the
+violations after the fact, at the utility cost Figure 1 measures.
 """
 
 from repro.baselines.privbayes import PrivBayes
 from repro.baselines.pategan import PateGan
 from repro.baselines.dpvae import DPVae
 from repro.baselines.nist_mst import NistMst
-from repro.baselines.cleaning import repair_violations
+from repro.baselines.cleaning import Cleaning, repair_violations
 
-__all__ = ["DPVae", "NistMst", "PateGan", "PrivBayes", "repair_violations"]
+__all__ = ["Cleaning", "DPVae", "NistMst", "PateGan", "PrivBayes",
+           "repair_violations"]

@@ -31,6 +31,16 @@ bookkeeping instead of a fresh O(n^2) ``count_violations`` per DC.
 
 Repair is a pure post-processing step: it costs no additional privacy
 budget but (as Figure 1 shows) damages the learned correlations.
+
+Two entry points:
+
+* :func:`repair_violations` — the raw post-processor (repairs any
+  table against any DC set);
+* :class:`Cleaning` — the "baseline + cleaning" *synthesizer* of
+  Figure 1: fit an inner constraint-oblivious backend (``privbayes``
+  by default, any registry name works), then repair each draw against
+  the dataset's DCs.  The repair rides in the ledger as a zero-cost
+  entry, so the backend's total spend is exactly the inner fit's.
 """
 
 from __future__ import annotations
@@ -40,6 +50,9 @@ import numpy as np
 from repro.constraints.index import build_index
 from repro.constraints.violations import _columns, _unary_mask, group_inverse
 from repro.schema.table import Table
+from repro.synth.ledger import BudgetLedger
+from repro.synth.protocol import FittedSynthesizer, Synthesizer, \
+    apply_common
 
 #: Hard stop for the fixpoint loop; reached only by pathological DC
 #: interactions (the loop normally exits on violation-free or stalled).
@@ -324,3 +337,82 @@ def _greedy_repair(table: Table, dc, rng: np.random.Generator,
         if vio > 0:
             col[i] = modal
             rewrites += 1
+
+
+class FittedCleaning(FittedSynthesizer):
+    """An inner fitted artifact plus the DC set to repair against."""
+
+    method = "cleaning"
+
+    def __init__(self, inner: FittedSynthesizer, dcs):
+        super().__init__(inner.relation, inner.default_n, inner.seed)
+        self.inner = inner
+        self.dcs = list(dcs)
+        self.ledger = BudgetLedger()
+        self.ledger.extend(inner.ledger)
+        self.ledger.spend("post-processing:violation-repair", 0.0, 0.0)
+
+    def sample(self, n=None, seed=None, *, trace=None) -> Table:
+        """Inner draw, then :func:`repair_violations` on the result.
+
+        The repair seed follows the draw seed (``self.seed`` for the
+        default draw), so the whole pipeline stays a deterministic
+        function of ``(fitted state, n, seed)``.
+        """
+        table = self.inner.sample(n=n, seed=seed, trace=trace)
+        repair_seed = self.seed if seed is None else int(seed)
+        return repair_violations(table, self.dcs, seed=repair_seed)
+
+    # -- persistence ---------------------------------------------------
+    def _model_state(self) -> dict:
+        return {
+            "inner_method": self.inner.method,
+            "inner_common": self.inner._common_state(),
+            "inner_model": self.inner._model_state(),
+        }
+
+    @classmethod
+    def _from_model_state(cls, state, relation, dcs, common):
+        from repro.synth.registry import resolve_backend
+        inner_cls = resolve_backend(state["inner_method"]).fitted_class()
+        inner = inner_cls._from_model_state(state["inner_model"],
+                                            relation, (),
+                                            state["inner_common"])
+        apply_common(inner, state["inner_common"])
+        return cls(inner, dcs)
+
+
+class Cleaning(Synthesizer):
+    """"Baseline + cleaning" synthesizer (Figure 1's cleaned variant).
+
+    Parameters
+    ----------
+    epsilon, delta, seed:
+        Passed through to the inner backend's fit.
+    dcs:
+        The denial constraints each draw is repaired against.
+    inner:
+        Registry name of the wrapped constraint-oblivious backend.
+    **inner_kwargs:
+        Extra constructor knobs for the inner backend.
+    """
+
+    name = "cleaning"
+    uses_dcs = True
+    fitted_cls = FittedCleaning
+
+    def __init__(self, epsilon: float, delta: float = 1e-6, seed: int = 0,
+                 dcs=(), inner: str = "privbayes", **inner_kwargs):
+        super().__init__(epsilon, delta=delta, seed=seed)
+        self.dcs = list(dcs)
+        self.inner_name = str(inner)
+        self.inner_kwargs = dict(inner_kwargs)
+
+    def fit(self, table: Table, *, trace=None) -> FittedCleaning:
+        from repro.synth.registry import make_synthesizer
+        if self.inner_name == self.name:
+            raise ValueError("cleaning cannot wrap itself")
+        inner = make_synthesizer(self.inner_name, self.epsilon,
+                                 delta=self.delta, seed=self.seed,
+                                 **self.inner_kwargs)
+        return FittedCleaning(inner.fit(table, trace=trace), self.dcs)

@@ -6,11 +6,15 @@ The encoder maps the mixed-encoded row to a Gaussian posterior
 the one-hot/scaled representation.  Training clips per-example
 gradients and adds Gaussian noise via :class:`~repro.privacy.DPSGD`;
 the noise scale is calibrated with the RDP accountant so the whole run
-spends exactly (epsilon, delta).  Synthesis decodes
-``z ~ N(0, I)`` draws — i.i.d. tuples, no constraint awareness.
+spends exactly (epsilon, delta) — recorded as one ledger entry in
+:meth:`DPVae.fit`.  The fitted artifact keeps only the decoder weights:
+:meth:`FittedDPVae.sample` decodes ``z ~ N(0, I)`` draws — i.i.d.
+tuples, no constraint awareness.
 """
 
 from __future__ import annotations
+
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -20,9 +24,43 @@ from repro.nn.losses import cross_entropy_loss
 from repro.privacy.dpsgd import DPSGD
 from repro.privacy.rdp import calibrate_sgm_sigma
 from repro.schema.table import Table
+from repro.synth.ledger import BudgetLedger
+from repro.synth.protocol import FittedSynthesizer, Synthesizer
 
 
-class DPVae:
+class FittedDPVae(FittedSynthesizer):
+    """The released decoder: two affine maps from latent to mixed codes."""
+
+    method = "dpvae"
+
+    def __init__(self, relation, weights, latent: int, default_n: int,
+                 seed: int, ledger=None, rng_state=None):
+        super().__init__(relation, default_n, seed, ledger=ledger,
+                         rng_state=rng_state)
+        #: ``(W1, b1, W2, b2)`` of the decoder.
+        self.weights = tuple(weights)
+        self.latent = int(latent)
+        self.encoder = MixedEncoder(relation)
+
+    def _decode_forward(self, z: np.ndarray) -> np.ndarray:
+        w1, b1, w2, b2 = self.weights
+        return np.maximum(z @ w1 + b1, 0.0) @ w2 + b2
+
+    def _sample(self, n_out: int, rng: np.random.Generator) -> Table:
+        z = rng.normal(size=(n_out, self.latent))
+        return self.encoder.decode(self._decode_forward(z), rng)
+
+    # -- persistence ---------------------------------------------------
+    def _model_state(self) -> dict:
+        return {"weights": list(self.weights), "latent": self.latent}
+
+    @classmethod
+    def _from_model_state(cls, state, relation, dcs, common):
+        return cls(relation, state["weights"], state["latent"],
+                   common["default_n"], common["seed"])
+
+
+class DPVae(Synthesizer):
     """Differentially private VAE synthesizer.
 
     Parameters
@@ -37,19 +75,20 @@ class DPVae:
         The usual knobs.
     """
 
+    name = "dpvae"
+    fitted_cls = FittedDPVae
+
     def __init__(self, epsilon: float, delta: float = 1e-6,
                  latent: int = 8, hidden: int = 48, iterations: int = 150,
                  batch: int = 32, lr: float = 0.05, clip_norm: float = 1.0,
                  seed: int = 0):
-        self.epsilon = float(epsilon)
-        self.delta = float(delta)
+        super().__init__(epsilon, delta=delta, seed=seed)
         self.latent = latent
         self.hidden = hidden
         self.iterations = iterations
         self.batch = batch
         self.lr = lr
         self.clip_norm = clip_norm
-        self.seed = seed
 
     # ------------------------------------------------------------------
     def _build(self, dim: int, rng) -> None:
@@ -80,48 +119,59 @@ class DPVae:
         return grad
 
     # ------------------------------------------------------------------
-    def fit_sample(self, table: Table, n: int | None = None) -> Table:
-        """Train privately on ``table``, then sample from the prior."""
+    def fit(self, table: Table, *, trace=None) -> FittedDPVae:
+        """Train privately on ``table`` (spends the whole budget)."""
         rng = np.random.default_rng(self.seed)
-        n_out = table.n if n is None else int(n)
-        encoder = MixedEncoder(table.relation)
-        X = encoder.encode(table)
-        n_rows = X.shape[0]
-        self._build(encoder.dim, rng)
+        ledger = BudgetLedger()
 
-        q = min(self.batch / n_rows, 1.0)
-        sigma = calibrate_sgm_sigma(self.epsilon, self.delta, q,
-                                    self.iterations)
-        optimizer = DPSGD(self.params, lr=self.lr, clip_norm=self.clip_norm,
-                          noise_scale=sigma, expected_batch=self.batch,
-                          rng=rng)
+        def _phase(name):
+            return trace.phase(name) if trace is not None else nullcontext()
 
-        for _ in range(self.iterations):
-            idx = np.nonzero(rng.random(n_rows) < q)[0]
-            optimizer.zero_grad()
-            if idx.size:
-                xb = X[idx]
-                h = self.enc2.forward(
-                    self.enc_act.forward(self.enc1.forward(xb)))
-                mu, logvar = h[:, :self.latent], h[:, self.latent:]
-                logvar = np.clip(logvar, -8.0, 8.0)
-                noise = rng.normal(size=mu.shape)
-                z = mu + np.exp(0.5 * logvar) * noise
-                recon = self._decode_forward(z)
-                g_recon = self._recon_loss_grad(recon, xb, encoder)
-                g = self.dec2.backward(g_recon, per_sample=True)
-                g = self.dec_act.backward(g, per_sample=True)
-                g_z = self.dec1.backward(g, per_sample=True)
-                # Reparameterisation + KL gradients.
-                g_mu = g_z + mu
-                g_logvar = (g_z * noise * 0.5 * np.exp(0.5 * logvar)
-                            + 0.5 * (np.exp(logvar) - 1.0))
-                g_h = np.concatenate([g_mu, g_logvar], axis=1)
-                g = self.enc2.backward(g_h, per_sample=True)
-                g = self.enc_act.backward(g, per_sample=True)
-                self.enc1.backward(g, per_sample=True)
-            optimizer.step()
+        with _phase("encode"):
+            encoder = MixedEncoder(table.relation)
+            X = encoder.encode(table)
+            n_rows = X.shape[0]
+            self._build(encoder.dim, rng)
 
-        z = rng.normal(size=(n_out, self.latent))
-        recon = self._decode_forward(z)
-        return encoder.decode(recon, rng)
+        with _phase("train"):
+            q = min(self.batch / n_rows, 1.0)
+            ledger.spend(f"gaussian:dp-sgd x{self.iterations} "
+                         f"(rdp-calibrated, q={q:.3g})",
+                         self.epsilon, self.delta)
+            sigma = calibrate_sgm_sigma(self.epsilon, self.delta, q,
+                                        self.iterations)
+            optimizer = DPSGD(self.params, lr=self.lr,
+                              clip_norm=self.clip_norm, noise_scale=sigma,
+                              expected_batch=self.batch, rng=rng)
+
+            for _ in range(self.iterations):
+                idx = np.nonzero(rng.random(n_rows) < q)[0]
+                optimizer.zero_grad()
+                if idx.size:
+                    xb = X[idx]
+                    h = self.enc2.forward(
+                        self.enc_act.forward(self.enc1.forward(xb)))
+                    mu, logvar = h[:, :self.latent], h[:, self.latent:]
+                    logvar = np.clip(logvar, -8.0, 8.0)
+                    noise = rng.normal(size=mu.shape)
+                    z = mu + np.exp(0.5 * logvar) * noise
+                    recon = self._decode_forward(z)
+                    g_recon = self._recon_loss_grad(recon, xb, encoder)
+                    g = self.dec2.backward(g_recon, per_sample=True)
+                    g = self.dec_act.backward(g, per_sample=True)
+                    g_z = self.dec1.backward(g, per_sample=True)
+                    # Reparameterisation + KL gradients.
+                    g_mu = g_z + mu
+                    g_logvar = (g_z * noise * 0.5 * np.exp(0.5 * logvar)
+                                + 0.5 * (np.exp(logvar) - 1.0))
+                    g_h = np.concatenate([g_mu, g_logvar], axis=1)
+                    g = self.enc2.backward(g_h, per_sample=True)
+                    g = self.enc_act.backward(g, per_sample=True)
+                    self.enc1.backward(g, per_sample=True)
+                optimizer.step()
+
+        weights = (self.dec1.weight.value, self.dec1.bias.value,
+                   self.dec2.weight.value, self.dec2.bias.value)
+        return FittedDPVae(
+            table.relation, weights, self.latent, table.n, self.seed,
+            ledger=ledger, rng_state=rng.bit_generator.state)

@@ -7,26 +7,123 @@ sample.  Following the paper's configuration, the measured set is every
 
 Implementation outline:
 
-1. discretise, then release each marginal with the Gaussian mechanism
-   (noise calibrated by the RDP accountant across all measurements);
-2. estimate pairwise mutual information from the noisy 2-ways and keep
-   a maximum spanning forest (networkx) over the measured pairs;
-3. sample ancestrally along each tree — roots from their 1-way
-   marginals, children from the conditional encoded by the noisy pair
-   marginal; unpaired attributes sample independently.
+1. :meth:`NistMst.fit` discretises, then releases each marginal with
+   the Gaussian mechanism (noise calibrated by the RDP accountant
+   across all measurements; the whole ``(epsilon, delta)`` recorded as
+   one ledger spend);
+2. still in ``fit``: estimate pairwise mutual information from the
+   noisy 2-ways, keep a maximum spanning forest (networkx) over the
+   measured pairs, and freeze the ancestral traversal as an explicit
+   sampling *plan* — so the fitted artifact is plain marginal tables
+   plus an op list, and drawing needs no graph library;
+3. :meth:`FittedNistMst.sample` walks the plan — roots from their
+   1-way marginals, children from the conditional encoded by the noisy
+   pair marginal; unpaired attributes sample independently.
 """
 
 from __future__ import annotations
+
+from contextlib import nullcontext
 
 import numpy as np
 import networkx as nx
 
 from repro.privacy.rdp import calibrate_sgm_sigma
-from repro.schema.quantize import dequantize_table, quantize_table
+from repro.schema.quantize import dequantize_table, quantize_relation, \
+    quantize_table
 from repro.schema.table import Table
+from repro.synth.ledger import BudgetLedger
+from repro.synth.protocol import FittedSynthesizer, Synthesizer
 
 
-class NistMst:
+class FittedNistMst(FittedSynthesizer):
+    """Measured marginals plus the frozen ancestral sampling plan.
+
+    ``plan`` ops are ``("root", attr)`` — draw from the 1-way marginal
+    — and ``("cond", child, parent)`` — draw from the pair marginal's
+    conditional given the already-drawn parent column.
+    """
+
+    method = "nist_mst"
+
+    def __init__(self, relation, disc_relation, quantizers, one_way,
+                 two_way, plan, quant_bins: int, default_n: int,
+                 seed: int, ledger=None, rng_state=None):
+        super().__init__(relation, default_n, seed, ledger=ledger,
+                         rng_state=rng_state)
+        self.disc_relation = disc_relation
+        self.quantizers = quantizers
+        self.one_way = one_way
+        #: ``(a, b) -> noisy joint counts`` for the measured pairs.
+        self.two_way = two_way
+        self.plan = plan
+        self.quant_bins = int(quant_bins)
+
+    def _sample_marginal(self, attr: str, n_out: int, rng) -> np.ndarray:
+        probs = self.one_way[attr]
+        total = probs.sum()
+        size = probs.shape[0]
+        p = probs / total if total > 0 else np.full(size, 1.0 / size)
+        return rng.choice(size, size=n_out, p=p)
+
+    def _conditional(self, child: str, parent: str,
+                     parent_col: np.ndarray, rng) -> np.ndarray:
+        key = (parent, child) if (parent, child) in self.two_way \
+            else (child, parent)
+        counts = self.two_way[key]
+        if key[0] == child:
+            counts = counts.T  # rows indexed by parent
+        row = counts[parent_col]
+        row_sums = row.sum(axis=1, keepdims=True)
+        size = counts.shape[1]
+        uniform = np.full_like(row, 1.0 / size)
+        probs = np.where(row_sums > 0,
+                         row / np.maximum(row_sums, 1e-12), uniform)
+        gumbel = -np.log(-np.log(rng.random(probs.shape) + 1e-300)
+                         + 1e-300)
+        return np.argmax(np.log(np.maximum(probs, 1e-300)) + gumbel,
+                         axis=1)
+
+    def _sample(self, n_out: int, rng: np.random.Generator) -> Table:
+        cols: dict[str, np.ndarray] = {}
+        for op in self.plan:
+            if op[0] == "root":
+                cols[op[1]] = self._sample_marginal(op[1], n_out, rng)
+            else:
+                _, child, parent = op
+                cols[child] = self._conditional(child, parent,
+                                                cols[parent], rng)
+        synthetic = Table(self.disc_relation,
+                          {a: np.asarray(cols[a], dtype=np.int64)
+                           for a in self.disc_relation.names},
+                          validate=False)
+        return dequantize_table(synthetic, self.relation, self.quantizers,
+                                rng)
+
+    # -- persistence ---------------------------------------------------
+    def _model_state(self) -> dict:
+        pairs = list(self.two_way)
+        return {
+            "quant_bins": self.quant_bins,
+            "one_way": dict(self.one_way),
+            "pairs": [[a, b] for a, b in pairs],
+            "pair_tables": [self.two_way[p] for p in pairs],
+            "plan": [list(op) for op in self.plan],
+        }
+
+    @classmethod
+    def _from_model_state(cls, state, relation, dcs, common):
+        q = int(state["quant_bins"])
+        disc_relation, quantizers = quantize_relation(relation, q)
+        two_way = {(a, b): table for (a, b), table
+                   in zip(state["pairs"], state["pair_tables"])}
+        plan = [tuple(op) for op in state["plan"]]
+        return cls(relation, disc_relation, quantizers,
+                   dict(state["one_way"]), two_way, plan, q,
+                   common["default_n"], common["seed"])
+
+
+class NistMst(Synthesizer):
     """Marginals + spanning-tree graphical-model synthesizer.
 
     Parameters
@@ -39,108 +136,102 @@ class NistMst:
         Discretisation and randomness.
     """
 
+    name = "nist_mst"
+    fitted_cls = FittedNistMst
+
     def __init__(self, epsilon: float, delta: float = 1e-6,
                  n_pairs: int = 10, quant_bins: int = 12, seed: int = 0):
-        self.epsilon = float(epsilon)
-        self.delta = float(delta)
+        super().__init__(epsilon, delta=delta, seed=seed)
         self.n_pairs = n_pairs
         self.quant_bins = quant_bins
-        self.seed = seed
 
-    def fit_sample(self, table: Table, n: int | None = None) -> Table:
+    def fit(self, table: Table, *, trace=None) -> FittedNistMst:
         rng = np.random.default_rng(self.seed)
-        n_out = table.n if n is None else int(n)
-        disc, quantizers = quantize_table(table, self.quant_bins)
-        names = disc.relation.names
-        k = len(names)
+        ledger = BudgetLedger()
+        names = None
 
-        pairs = []
-        if k >= 2:
-            all_pairs = [(names[i], names[j]) for i in range(k)
-                         for j in range(i + 1, k)]
-            take = min(self.n_pairs, len(all_pairs))
-            idx = rng.choice(len(all_pairs), size=take, replace=False)
-            pairs = [all_pairs[i] for i in idx]
+        def _phase(name):
+            return trace.phase(name) if trace is not None else nullcontext()
 
-        # Calibrate one Gaussian scale across all measurements
-        # (sensitivity sqrt(2) per histogram under replacement).
-        n_measurements = k + len(pairs)
-        sigma = calibrate_sgm_sigma(self.epsilon, self.delta, 1.0,
-                                    n_measurements)
+        with _phase("quantize"):
+            disc, quantizers = quantize_table(table, self.quant_bins)
+            names = disc.relation.names
+            k = len(names)
 
-        def noisy(counts):
-            noisy_counts = counts + rng.normal(
-                0.0, np.sqrt(2.0) * sigma, size=counts.shape)
-            return np.maximum(noisy_counts, 0.0)
+        with _phase("measure"):
+            pairs = []
+            if k >= 2:
+                all_pairs = [(names[i], names[j]) for i in range(k)
+                             for j in range(i + 1, k)]
+                take = min(self.n_pairs, len(all_pairs))
+                idx = rng.choice(len(all_pairs), size=take, replace=False)
+                pairs = [all_pairs[i] for i in idx]
 
-        one_way = {}
-        for a in names:
-            size = disc.relation[a].domain.size
-            counts = np.bincount(disc.column(a).astype(np.int64),
-                                 minlength=size).astype(float)
-            one_way[a] = noisy(counts)
+            # Calibrate one Gaussian scale across all measurements
+            # (sensitivity sqrt(2) per histogram under replacement); the
+            # accountant sizes sigma for the whole budget, recorded as
+            # one composed spend.
+            n_measurements = k + len(pairs)
+            ledger.spend(f"gaussian:marginals x{n_measurements} "
+                         f"(rdp-calibrated)", self.epsilon, self.delta)
+            sigma = calibrate_sgm_sigma(self.epsilon, self.delta, 1.0,
+                                        n_measurements)
 
-        two_way = {}
-        graph = nx.Graph()
-        graph.add_nodes_from(names)
-        for a, b in pairs:
-            sa = disc.relation[a].domain.size
-            sb = disc.relation[b].domain.size
-            counts = np.zeros((sa, sb))
-            np.add.at(counts, (disc.column(a).astype(np.int64),
-                               disc.column(b).astype(np.int64)), 1.0)
-            counts = noisy(counts)
-            two_way[(a, b)] = counts
-            joint = counts / max(counts.sum(), 1e-12)
-            pa = joint.sum(axis=1, keepdims=True)
-            pb = joint.sum(axis=0, keepdims=True)
-            mask = joint > 0
-            mi = float(np.sum(joint[mask]
-                              * np.log(joint[mask]
-                                       / np.maximum((pa @ pb)[mask],
-                                                    1e-300))))
-            graph.add_edge(a, b, weight=mi)
+            def noisy(counts):
+                noisy_counts = counts + rng.normal(
+                    0.0, np.sqrt(2.0) * sigma, size=counts.shape)
+                return np.maximum(noisy_counts, 0.0)
 
-        forest = nx.maximum_spanning_tree(graph) if graph.edges else graph
+            one_way = {}
+            for a in names:
+                size = disc.relation[a].domain.size
+                counts = np.bincount(disc.column(a).astype(np.int64),
+                                     minlength=size).astype(float)
+                one_way[a] = noisy(counts)
 
-        cols: dict[str, np.ndarray] = {}
+            two_way = {}
+            graph = nx.Graph()
+            graph.add_nodes_from(names)
+            for a, b in pairs:
+                sa = disc.relation[a].domain.size
+                sb = disc.relation[b].domain.size
+                counts = np.zeros((sa, sb))
+                np.add.at(counts, (disc.column(a).astype(np.int64),
+                                   disc.column(b).astype(np.int64)), 1.0)
+                counts = noisy(counts)
+                two_way[(a, b)] = counts
+                joint = counts / max(counts.sum(), 1e-12)
+                pa = joint.sum(axis=1, keepdims=True)
+                pb = joint.sum(axis=0, keepdims=True)
+                mask = joint > 0
+                mi = float(np.sum(joint[mask]
+                                  * np.log(joint[mask]
+                                           / np.maximum((pa @ pb)[mask],
+                                                        1e-300))))
+                graph.add_edge(a, b, weight=mi)
 
-        def sample_marginal(a):
-            probs = one_way[a]
-            total = probs.sum()
-            size = probs.shape[0]
-            p = probs / total if total > 0 else np.full(size, 1.0 / size)
-            return rng.choice(size, size=n_out, p=p)
+        with _phase("infer"):
+            forest = nx.maximum_spanning_tree(graph) if graph.edges \
+                else graph
+            # Freeze the ancestral traversal: the plan's op order is
+            # exactly the order the fused sampler visited attributes,
+            # so a plan-driven draw replays the same rng sequence.
+            plan: list[tuple] = []
+            planned: set[str] = set()
+            for component in nx.connected_components(forest):
+                component = sorted(component)
+                root = component[0]
+                plan.append(("root", root))
+                planned.add(root)
+                for parent, child in nx.bfs_edges(
+                        forest.subgraph(component), root):
+                    plan.append(("cond", child, parent))
+                    planned.add(child)
+            for a in names:
+                if a not in planned:
+                    plan.append(("root", a))
 
-        def conditional(child, parent, parent_col):
-            key = (parent, child) if (parent, child) in two_way \
-                else (child, parent)
-            counts = two_way[key]
-            if key[0] == child:
-                counts = counts.T  # rows indexed by parent
-            row = counts[parent_col]
-            row_sums = row.sum(axis=1, keepdims=True)
-            size = counts.shape[1]
-            uniform = np.full_like(row, 1.0 / size)
-            probs = np.where(row_sums > 0,
-                             row / np.maximum(row_sums, 1e-12), uniform)
-            gumbel = -np.log(-np.log(rng.random(probs.shape) + 1e-300)
-                             + 1e-300)
-            return np.argmax(np.log(np.maximum(probs, 1e-300)) + gumbel,
-                             axis=1)
-
-        for component in nx.connected_components(forest):
-            component = sorted(component)
-            root = component[0]
-            cols[root] = sample_marginal(root)
-            for parent, child in nx.bfs_edges(forest.subgraph(component),
-                                              root):
-                cols[child] = conditional(child, parent, cols[parent])
-        for a in names:
-            if a not in cols:
-                cols[a] = sample_marginal(a)
-
-        synthetic = Table(disc.relation,
-                          {a: np.asarray(cols[a], dtype=np.int64)
-                           for a in names}, validate=False)
-        return dequantize_table(synthetic, table.relation, quantizers, rng)
+        return FittedNistMst(
+            table.relation, disc.relation, quantizers, one_way, two_way,
+            plan, self.quant_bins, table.n, self.seed, ledger=ledger,
+            rng_state=rng.bit_generator.state)

@@ -9,15 +9,22 @@ A GAN in which the discriminator's privacy comes from PATE distillation:
   data influences the released model;
 * the generator trains against the student.
 
-The vote aggregation here uses Gaussian noise accounted with the RDP
+The vote aggregation uses Gaussian noise accounted with the RDP
 accountant (one vote's sensitivity is 1, since a record affects exactly
 one teacher); the calibration spends the whole (epsilon, delta) budget
-over the planned number of vote queries.  As in the paper's evaluation
-(§7.1), the generator is conditioned on the dataset's smallest-domain
-attribute, whose histogram is taken from the true data.
+over the planned number of vote queries, recorded as one ledger entry.
+As in the paper's evaluation (§7.1), the generator is conditioned on
+the dataset's smallest-domain attribute, whose histogram is taken from
+the true data.
+
+All of the above happens in :meth:`PateGan.fit`; the fitted artifact is
+just the generator's weights plus the label histogram, and
+:meth:`FittedPateGan.sample` is a forward pass through them.
 """
 
 from __future__ import annotations
+
+from contextlib import nullcontext
 
 import numpy as np
 
@@ -28,6 +35,8 @@ from repro.nn.losses import bce_with_logits_loss
 from repro.nn.optim import Adam
 from repro.privacy.rdp import calibrate_sgm_sigma
 from repro.schema.table import Table
+from repro.synth.ledger import BudgetLedger
+from repro.synth.protocol import FittedSynthesizer, Synthesizer
 
 
 class _MLP:
@@ -50,7 +59,59 @@ class _MLP:
         return self.l1.backward(g)
 
 
-class PateGan:
+class FittedPateGan(FittedSynthesizer):
+    """The released generator: two affine maps plus the label histogram.
+
+    The mixed encoder is a pure function of the schema and is rebuilt
+    at construction; drawing replays the fused sampler's rng sequence —
+    latent normal, label choice, generator forward, §7.1 decode.
+    """
+
+    method = "pategan"
+
+    def __init__(self, relation, weights, latent: int, label_size: int,
+                 label_hist, default_n: int, seed: int, ledger=None,
+                 rng_state=None):
+        super().__init__(relation, default_n, seed, ledger=ledger,
+                         rng_state=rng_state)
+        #: ``(W1, b1, W2, b2)`` of the generator MLP.
+        self.weights = tuple(weights)
+        self.latent = int(latent)
+        self.label_size = int(label_size)
+        self.label_hist = label_hist
+        self.encoder = MixedEncoder(relation)
+
+    def _generator_forward(self, z: np.ndarray) -> np.ndarray:
+        w1, b1, w2, b2 = self.weights
+        return sigmoid(np.maximum(z @ w1 + b1, 0.0) @ w2 + b2)
+
+    def _sample(self, n_out: int, rng: np.random.Generator) -> Table:
+        z = rng.normal(size=(n_out, self.latent))
+        if self.label_size:
+            labels = rng.choice(self.label_size, size=n_out,
+                                p=self.label_hist)
+            onehot = np.zeros((n_out, self.label_size))
+            onehot[np.arange(n_out), labels] = 1.0
+            z = np.concatenate([z, onehot], axis=1)
+        return self.encoder.decode(self._generator_forward(z), rng)
+
+    # -- persistence ---------------------------------------------------
+    def _model_state(self) -> dict:
+        return {
+            "weights": list(self.weights),
+            "latent": self.latent,
+            "label_size": self.label_size,
+            "label_hist": self.label_hist,
+        }
+
+    @classmethod
+    def _from_model_state(cls, state, relation, dcs, common):
+        return cls(relation, state["weights"], state["latent"],
+                   state["label_size"], state["label_hist"],
+                   common["default_n"], common["seed"])
+
+
+class PateGan(Synthesizer):
     """PATE-distilled GAN synthesizer.
 
     Parameters
@@ -66,101 +127,121 @@ class PateGan:
         The usual knobs.
     """
 
+    name = "pategan"
+    fitted_cls = FittedPateGan
+
     def __init__(self, epsilon: float, delta: float = 1e-6,
                  n_teachers: int = 5, iterations: int = 120,
                  batch: int = 32, latent: int = 8, hidden: int = 32,
                  lr: float = 1e-3, seed: int = 0):
-        self.epsilon = float(epsilon)
-        self.delta = float(delta)
+        super().__init__(epsilon, delta=delta, seed=seed)
         self.n_teachers = n_teachers
         self.iterations = iterations
         self.batch = batch
         self.latent = latent
         self.hidden = hidden
         self.lr = lr
-        self.seed = seed
 
     # ------------------------------------------------------------------
-    def fit_sample(self, table: Table, n: int | None = None) -> Table:
+    def fit(self, table: Table, *, trace=None) -> FittedPateGan:
         rng = np.random.default_rng(self.seed)
-        n_out = table.n if n is None else int(n)
+        ledger = BudgetLedger()
         relation = table.relation
 
-        # Conditioning label: smallest-domain attribute (§7.1).
-        label_attr = min((a for a in relation if a.is_categorical),
-                         key=lambda a: a.domain.size, default=None)
-        label_name = label_attr.name if label_attr is not None else None
-        label_size = label_attr.domain.size if label_attr is not None else 0
-        label_hist = None
-        if label_name is not None:
-            counts = np.bincount(table.column(label_name).astype(np.int64),
-                                 minlength=label_size).astype(float)
-            label_hist = counts / counts.sum()
+        def _phase(name):
+            return trace.phase(name) if trace is not None else nullcontext()
 
-        encoder = MixedEncoder(relation)
-        X = encoder.encode(table)
-        n_rows, dim = X.shape
+        with _phase("encode"):
+            # Conditioning label: smallest-domain attribute (§7.1).
+            label_attr = min((a for a in relation if a.is_categorical),
+                             key=lambda a: a.domain.size, default=None)
+            label_name = label_attr.name if label_attr is not None else None
+            label_size = (label_attr.domain.size
+                          if label_attr is not None else 0)
+            label_hist = None
+            if label_name is not None:
+                counts = np.bincount(
+                    table.column(label_name).astype(np.int64),
+                    minlength=label_size).astype(float)
+                label_hist = counts / counts.sum()
 
-        gen = _MLP(self.latent + label_size, self.hidden, dim, rng, "gen")
-        teachers = [_MLP(dim, self.hidden, 1, rng, f"teacher{t}")
-                    for t in range(self.n_teachers)]
-        student = _MLP(dim, self.hidden, 1, rng, "student")
-        gen_opt = Adam(gen.parameters(), lr=self.lr)
-        teacher_opts = [Adam(t.parameters(), lr=self.lr) for t in teachers]
-        student_opt = Adam(student.parameters(), lr=self.lr)
+            encoder = MixedEncoder(relation)
+            X = encoder.encode(table)
+            n_rows, dim = X.shape
 
-        shards = np.array_split(rng.permutation(n_rows), self.n_teachers)
-        vote_queries = self.iterations  # one noisy vote batch per iter
-        vote_sigma = calibrate_sgm_sigma(self.epsilon, self.delta, 1.0,
-                                         vote_queries)
+        with _phase("train"):
+            gen = _MLP(self.latent + label_size, self.hidden, dim, rng,
+                       "gen")
+            teachers = [_MLP(dim, self.hidden, 1, rng, f"teacher{t}")
+                        for t in range(self.n_teachers)]
+            student = _MLP(dim, self.hidden, 1, rng, "student")
+            gen_opt = Adam(gen.parameters(), lr=self.lr)
+            teacher_opts = [Adam(t.parameters(), lr=self.lr)
+                            for t in teachers]
+            student_opt = Adam(student.parameters(), lr=self.lr)
 
-        def generate(m):
-            z = rng.normal(size=(m, self.latent))
-            if label_size:
-                labels = rng.choice(label_size, size=m, p=label_hist)
-                onehot = np.zeros((m, label_size))
-                onehot[np.arange(m), labels] = 1.0
-                z = np.concatenate([z, onehot], axis=1)
-            raw = gen.forward(z)
-            return sigmoid(raw), raw
+            shards = np.array_split(rng.permutation(n_rows),
+                                    self.n_teachers)
+            vote_queries = self.iterations  # one noisy vote batch per iter
+            ledger.spend(f"gaussian:pate-teacher-votes x{vote_queries} "
+                         f"(rdp-calibrated)", self.epsilon, self.delta)
+            vote_sigma = calibrate_sgm_sigma(self.epsilon, self.delta, 1.0,
+                                             vote_queries)
 
-        for _ in range(self.iterations):
-            fake, _ = generate(self.batch)
-            # Teachers: real shard rows vs current fakes.
-            for teacher, opt, shard in zip(teachers, teacher_opts, shards):
-                if shard.size == 0:
-                    continue
-                real_idx = rng.choice(shard,
-                                      size=min(self.batch, shard.size),
-                                      replace=False)
-                xb = np.concatenate([X[real_idx], fake])
-                yb = np.concatenate([np.ones(real_idx.size),
-                                     np.zeros(fake.shape[0])])
-                opt.zero_grad()
-                logits = teacher.forward(xb)[:, 0]
-                _, grad = bce_with_logits_loss(logits, yb)
-                teacher.backward((grad / xb.shape[0])[:, None])
-                opt.step()
-            # Student: fakes labeled by the noisy teacher vote.
-            votes = np.zeros(fake.shape[0])
-            for teacher in teachers:
-                votes += (teacher.forward(fake)[:, 0] > 0)
-            noisy = votes + rng.normal(0.0, vote_sigma, size=votes.shape)
-            student_labels = (noisy > self.n_teachers / 2).astype(float)
-            student_opt.zero_grad()
-            logits = student.forward(fake)[:, 0]
-            _, grad = bce_with_logits_loss(logits, student_labels)
-            student.backward((grad / fake.shape[0])[:, None])
-            student_opt.step()
-            # Generator: fool the student (non-saturating loss).
-            gen_opt.zero_grad()
-            fake, raw = generate(self.batch)
-            logits = student.forward(fake)[:, 0]
-            _, grad = bce_with_logits_loss(logits, np.ones_like(logits))
-            g_fake = student.backward((grad / fake.shape[0])[:, None])
-            # Through the output sigmoid of the generator.
-            gen.backward(g_fake * fake * (1.0 - fake))
-            gen_opt.step()
+            def generate(m):
+                z = rng.normal(size=(m, self.latent))
+                if label_size:
+                    labels = rng.choice(label_size, size=m, p=label_hist)
+                    onehot = np.zeros((m, label_size))
+                    onehot[np.arange(m), labels] = 1.0
+                    z = np.concatenate([z, onehot], axis=1)
+                raw = gen.forward(z)
+                return sigmoid(raw), raw
 
-        samples, _ = generate(n_out)
-        return encoder.decode(samples, rng)
+            for _ in range(self.iterations):
+                fake, _ = generate(self.batch)
+                # Teachers: real shard rows vs current fakes.
+                for teacher, opt, shard in zip(teachers, teacher_opts,
+                                               shards):
+                    if shard.size == 0:
+                        continue
+                    real_idx = rng.choice(shard,
+                                          size=min(self.batch, shard.size),
+                                          replace=False)
+                    xb = np.concatenate([X[real_idx], fake])
+                    yb = np.concatenate([np.ones(real_idx.size),
+                                         np.zeros(fake.shape[0])])
+                    opt.zero_grad()
+                    logits = teacher.forward(xb)[:, 0]
+                    _, grad = bce_with_logits_loss(logits, yb)
+                    teacher.backward((grad / xb.shape[0])[:, None])
+                    opt.step()
+                # Student: fakes labeled by the noisy teacher vote.
+                votes = np.zeros(fake.shape[0])
+                for teacher in teachers:
+                    votes += (teacher.forward(fake)[:, 0] > 0)
+                noisy = votes + rng.normal(0.0, vote_sigma,
+                                           size=votes.shape)
+                student_labels = (noisy > self.n_teachers / 2).astype(float)
+                student_opt.zero_grad()
+                logits = student.forward(fake)[:, 0]
+                _, grad = bce_with_logits_loss(logits, student_labels)
+                student.backward((grad / fake.shape[0])[:, None])
+                student_opt.step()
+                # Generator: fool the student (non-saturating loss).
+                gen_opt.zero_grad()
+                fake, raw = generate(self.batch)
+                logits = student.forward(fake)[:, 0]
+                _, grad = bce_with_logits_loss(logits,
+                                               np.ones_like(logits))
+                g_fake = student.backward((grad / fake.shape[0])[:, None])
+                # Through the output sigmoid of the generator.
+                gen.backward(g_fake * fake * (1.0 - fake))
+                gen_opt.step()
+
+        weights = (gen.l1.weight.value, gen.l1.bias.value,
+                   gen.l2.weight.value, gen.l2.bias.value)
+        return FittedPateGan(
+            relation, weights, self.latent, label_size, label_hist,
+            table.n, self.seed, ledger=ledger,
+            rng_state=rng.bit_generator.state)

@@ -10,6 +10,9 @@ Pipeline:
 3. spend the other half on Laplace-noised conditional count tables;
 4. sample tuples ancestrally and de-quantise.
 
+Steps 1–3 are the budget-consuming :meth:`PrivBayes.fit` (both halves
+recorded in the artifact's :class:`~repro.synth.ledger.BudgetLedger`);
+step 4 is :meth:`FittedPrivBayes.sample`, free seeded post-processing.
 Tuples are sampled i.i.d. — the method has no notion of cross-tuple
 constraints, which is what Table 2 measures.
 """
@@ -17,11 +20,15 @@ constraints, which is what Table 2 measures.
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 
 import numpy as np
 
-from repro.schema.quantize import dequantize_table, quantize_table
+from repro.schema.quantize import dequantize_table, quantize_relation, \
+    quantize_table
 from repro.schema.table import Table
+from repro.synth.ledger import BudgetLedger
+from repro.synth.protocol import FittedSynthesizer, Synthesizer
 
 
 def _mutual_information(x: np.ndarray, y_key: np.ndarray, x_size: int,
@@ -37,7 +44,81 @@ def _mutual_information(x: np.ndarray, y_key: np.ndarray, x_size: int,
                         * np.log(joint[mask] / (px @ py)[mask])))
 
 
-class PrivBayes:
+def _flatten_key(columns: dict, relation, parents,
+                 n: int) -> tuple[np.ndarray, int]:
+    """Mixed-radix flatten of parent columns into one key column."""
+    key = np.zeros(n, dtype=np.int64)
+    size = 1
+    for p in parents:
+        psize = relation[p].domain.size
+        key = key * psize + np.asarray(columns[p], dtype=np.int64)
+        size *= psize
+    return key, size
+
+
+class FittedPrivBayes(FittedSynthesizer):
+    """A learned network: structure + noisy CPTs over the binned schema.
+
+    Drawing is ancestral sampling along the fitted structure followed
+    by §4.2 de-quantisation — no private data, no budget.
+    """
+
+    method = "privbayes"
+
+    def __init__(self, relation, disc_relation, quantizers,
+                 structure, cpts, quant_bins: int, default_n: int,
+                 seed: int, ledger=None, rng_state=None):
+        super().__init__(relation, default_n, seed, ledger=ledger,
+                         rng_state=rng_state)
+        self.disc_relation = disc_relation
+        self.quantizers = quantizers
+        #: Ancestral order: ``[(attr, (parent, ...)), ...]``.
+        self.structure = structure
+        #: ``attr -> (key_size, x_size)`` conditional probability table.
+        self.cpts = cpts
+        self.quant_bins = int(quant_bins)
+
+    def _sample(self, n_out: int, rng: np.random.Generator) -> Table:
+        cols: dict[str, np.ndarray] = {}
+        for attr, parents in self.structure:
+            probs = self.cpts[attr]
+            if not parents:
+                cols[attr] = rng.choice(probs.shape[1], size=n_out,
+                                        p=probs[0] / probs[0].sum())
+                continue
+            key, _ = _flatten_key(cols, self.disc_relation, parents, n_out)
+            gumbel = -np.log(-np.log(rng.random((n_out, probs.shape[1]))
+                                     + 1e-300) + 1e-300)
+            cols[attr] = np.argmax(np.log(np.maximum(probs[key], 1e-300))
+                                   + gumbel, axis=1)
+        synthetic = Table(self.disc_relation,
+                          {a: np.asarray(cols[a], dtype=np.int64)
+                           for a in self.disc_relation.names},
+                          validate=False)
+        return dequantize_table(synthetic, self.relation, self.quantizers,
+                                rng)
+
+    # -- persistence ---------------------------------------------------
+    def _model_state(self) -> dict:
+        return {
+            "quant_bins": self.quant_bins,
+            "structure": [[attr, list(parents)]
+                          for attr, parents in self.structure],
+            "cpts": {attr: probs for attr, probs in self.cpts.items()},
+        }
+
+    @classmethod
+    def _from_model_state(cls, state, relation, dcs, common):
+        q = int(state["quant_bins"])
+        disc_relation, quantizers = quantize_relation(relation, q)
+        structure = [(attr, tuple(parents))
+                     for attr, parents in state["structure"]]
+        return cls(relation, disc_relation, quantizers, structure,
+                   dict(state["cpts"]), q, common["default_n"],
+                   common["seed"])
+
+
+class PrivBayes(Synthesizer):
     """Differentially private Bayesian-network synthesizer.
 
     Parameters
@@ -53,20 +134,22 @@ class PrivBayes:
         Randomness.
     """
 
+    name = "privbayes"
+    fitted_cls = FittedPrivBayes
+
     def __init__(self, epsilon: float, delta: float = 0.0,
                  max_parents: int = 2, quant_bins: int = 12, seed: int = 0):
-        self.epsilon = float(epsilon)
+        super().__init__(epsilon, delta=delta, seed=seed)
         self.max_parents = int(max_parents)
         self.quant_bins = int(quant_bins)
-        self.seed = seed
 
     # ------------------------------------------------------------------
-    def _greedy_structure(self, disc: Table, rng) -> list[tuple[str, tuple]]:
+    def _greedy_structure(self, disc: Table, eps_struct: float,
+                          rng) -> list[tuple[str, tuple]]:
         """Greedy (attribute, parents) ordering by noisy MI."""
         relation = disc.relation
         names = list(relation.names)
         n = disc.n
-        eps_struct = self.epsilon / 2.0
         structure: list[tuple[str, tuple]] = []
         chosen: list[str] = []
         remaining = list(names)
@@ -80,6 +163,7 @@ class PrivBayes:
         # use this scale for their noisy selection.
         sensitivity = 2.0 * np.log(max(n, 2)) / max(n, 2)
         eps_step = eps_struct / steps
+        columns = {a: disc.column(a) for a in names}
         while remaining:
             best, best_score = None, -np.inf
             for attr in remaining:
@@ -88,7 +172,8 @@ class PrivBayes:
                 max_p = min(self.max_parents, len(chosen))
                 for r in range(1, max_p + 1):
                     for parents in itertools.combinations(chosen[-4:], r):
-                        key, key_size = self._flatten(disc, parents)
+                        key, key_size = _flatten_key(columns, relation,
+                                                     parents, n)
                         mi = _mutual_information(x, key, x_size, key_size)
                         noisy = mi + rng.laplace(
                             0.0, sensitivity / max(eps_step, 1e-12))
@@ -101,59 +186,45 @@ class PrivBayes:
             remaining.remove(attr)
         return structure
 
-    def _flatten(self, disc: Table, parents) -> tuple[np.ndarray, int]:
-        """Mixed-radix flatten of parent columns into one key column."""
-        key = np.zeros(disc.n, dtype=np.int64)
-        size = 1
-        for p in parents:
-            psize = disc.relation[p].domain.size
-            key = key * psize + disc.column(p).astype(np.int64)
-            size *= psize
-        return key, size
-
     # ------------------------------------------------------------------
-    def fit_sample(self, table: Table, n: int | None = None) -> Table:
-        """Learn the network on ``table`` and sample a synthetic one."""
+    def fit(self, table: Table, *, trace=None) -> FittedPrivBayes:
+        """Learn the network on ``table`` (spends the whole budget)."""
         rng = np.random.default_rng(self.seed)
-        n_out = table.n if n is None else int(n)
-        disc, quantizers = quantize_table(table, self.quant_bins)
-        structure = self._greedy_structure(disc, rng)
+        ledger = BudgetLedger()
 
-        eps_param = self.epsilon / 2.0
-        eps_each = eps_param / max(len(structure), 1)
-        cpts = {}
-        for attr, parents in structure:
-            x = disc.column(attr).astype(np.int64)
-            x_size = disc.relation[attr].domain.size
-            key, key_size = self._flatten(disc, parents)
-            counts = np.zeros((key_size, x_size))
-            np.add.at(counts, (key, x), 1.0)
-            counts += rng.laplace(0.0, 2.0 / max(eps_each, 1e-12),
-                                  size=counts.shape)
-            counts = np.maximum(counts, 0.0)
-            row_sums = counts.sum(axis=1, keepdims=True)
-            uniform = np.full_like(counts, 1.0 / x_size)
-            probs = np.where(row_sums > 0, counts / np.maximum(row_sums,
-                                                               1e-12),
-                             uniform)
-            cpts[attr] = (parents, probs)
+        def _phase(name):
+            return trace.phase(name) if trace is not None else nullcontext()
 
-        cols = {}
-        for attr, parents in structure:
-            _, probs = cpts[attr]
-            if not parents:
-                cols[attr] = rng.choice(probs.shape[1], size=n_out,
-                                        p=probs[0] / probs[0].sum())
-                continue
-            key = np.zeros(n_out, dtype=np.int64)
-            for p in parents:
-                psize = disc.relation[p].domain.size
-                key = key * psize + cols[p]
-            gumbel = -np.log(-np.log(rng.random((n_out, probs.shape[1]))
-                                     + 1e-300) + 1e-300)
-            cols[attr] = np.argmax(np.log(np.maximum(probs[key], 1e-300))
-                                   + gumbel, axis=1)
-        synthetic = Table(disc.relation,
-                          {a: np.asarray(cols[a], dtype=np.int64)
-                           for a in disc.relation.names}, validate=False)
-        return dequantize_table(synthetic, table.relation, quantizers, rng)
+        with _phase("quantize"):
+            disc, quantizers = quantize_table(table, self.quant_bins)
+        with _phase("structure"):
+            eps_struct = ledger.spend("laplace:noisy-mi-structure",
+                                      self.epsilon / 2.0)
+            structure = self._greedy_structure(disc, eps_struct, rng)
+
+        with _phase("cpt"):
+            eps_param = ledger.spend("laplace:cpt-counts",
+                                     self.epsilon / 2.0)
+            eps_each = eps_param / max(len(structure), 1)
+            columns = {a: disc.column(a) for a in disc.relation.names}
+            cpts = {}
+            for attr, parents in structure:
+                x = disc.column(attr).astype(np.int64)
+                x_size = disc.relation[attr].domain.size
+                key, key_size = _flatten_key(columns, disc.relation,
+                                             parents, disc.n)
+                counts = np.zeros((key_size, x_size))
+                np.add.at(counts, (key, x), 1.0)
+                counts += rng.laplace(0.0, 2.0 / max(eps_each, 1e-12),
+                                      size=counts.shape)
+                counts = np.maximum(counts, 0.0)
+                row_sums = counts.sum(axis=1, keepdims=True)
+                uniform = np.full_like(counts, 1.0 / x_size)
+                cpts[attr] = np.where(
+                    row_sums > 0,
+                    counts / np.maximum(row_sums, 1e-12), uniform)
+
+        return FittedPrivBayes(
+            table.relation, disc.relation, quantizers, structure, cpts,
+            self.quant_bins, table.n, self.seed, ledger=ledger,
+            rng_state=rng.bit_generator.state)

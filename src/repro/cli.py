@@ -34,6 +34,14 @@ and constraints).  ``synthesize`` is the fused convenience (fit one
 bundle, draw one instance); pass ``--save-model`` to keep the fitted
 artifact for later ``sample`` runs.
 
+``fit`` and ``synthesize`` take ``--method <backend>`` to run any
+registered synthesizer (``kamino`` — the default — ``privbayes``,
+``pategan``, ``dpvae``, ``nist_mst``, ``cleaning``), all through the
+same staged protocol (:mod:`repro.synth`); ``--method auto`` picks a
+backend from the bundle's shape via :func:`repro.synth.route`.
+``sample`` detects the backend from the model file, so a PrivBayes
+artifact and a Kamino artifact serve draws through the same command.
+
 A *bundle* is the directory layout of :mod:`repro.io.bundle`
 (``schema.json`` + ``data.csv`` + optional ``dcs.txt``).
 """
@@ -67,6 +75,10 @@ from repro.obs import (
 from repro.privacy.ledger import PrivacyLedger
 from repro.schema.domain import CategoricalDomain, NumericalDomain
 from repro.schema.relation import Attribute, Relation
+from repro.synth import (
+    BackendUnavailable, backend_names, load_fitted, make_synthesizer,
+    peek_method, route,
+)
 
 
 # ----------------------------------------------------------------------
@@ -211,9 +223,123 @@ def _finish_trace(args, trace: RunTrace | None) -> None:
     print(f"wrote run trace to {args.trace}")
 
 
+def _parse_epsilon(args) -> float:
+    return float("inf") if args.epsilon in ("inf", "none") \
+        else float(args.epsilon)
+
+
+def _resolve_method(args, bundle) -> str:
+    """The backend a ``fit``/``synthesize`` run targets.
+
+    ``--method auto`` routes on the bundle's shape (DCs present ->
+    kamino; wide unconstrained tables -> a marginal backend).
+    """
+    method = getattr(args, "method", "kamino")
+    if method == "auto":
+        method = route(bundle.table, bundle.dcs)
+        print(f"--method auto: routed to {method!r} "
+              f"({len(bundle.dcs)} DCs, {len(bundle.relation)} columns)")
+    return method
+
+
+def _make_backend(method: str, args, dcs):
+    """Build a non-Kamino backend from the shared budget flags."""
+    kwargs = {}
+    if args.max_iterations is not None and method in ("pategan", "dpvae"):
+        kwargs["iterations"] = args.max_iterations
+    return make_synthesizer(method, _parse_epsilon(args),
+                            delta=args.delta, seed=args.seed, dcs=dcs,
+                            **kwargs)
+
+
+def _fit_backend(args, bundle, method: str) -> int:
+    """``fit`` for a registry backend (everything but native Kamino)."""
+    trace = RunTrace(label=f"fit:{args.bundle}") if args.trace else None
+    try:
+        synth = _make_backend(method, args, bundle.dcs)
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    fitted = synth.fit(bundle.table, trace=trace)
+    fitted.save(args.out)
+    print(f"wrote fitted {method} model to {args.out} "
+          f"(trained on n={bundle.n}, "
+          f"fit {time.perf_counter() - start:.1f}s)")
+    print(fitted.ledger.summary())
+    if args.ledger:
+        print("note: --ledger composes Kamino runs only; this backend's "
+              "spends ride in the model's own budget ledger (shown "
+              "above)", file=sys.stderr)
+    _finish_trace(args, trace)
+    return 0
+
+
+def _synthesize_backend(args, bundle, method: str) -> int:
+    """``synthesize`` for a registry backend: staged fit + one draw."""
+    trace = RunTrace(label=f"synthesize:{args.bundle}") \
+        if args.trace else None
+    try:
+        synth = _make_backend(method, args, bundle.dcs)
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    fitted = synth.fit(bundle.table, trace=trace)
+    table = fitted.sample(args.n, trace=trace)
+    if args.save_model:
+        fitted.save(args.save_model)
+        print(f"wrote fitted model to {args.save_model} "
+              f"(sample from it with 'repro-kamino sample')")
+    save_bundle(args.out, table, bundle.dcs)
+    print(f"wrote synthetic bundle to {args.out} (method={method}, "
+          f"n={table.n}, total {time.perf_counter() - start:.1f}s)")
+    print(fitted.ledger.summary())
+    _finish_trace(args, trace)
+    return 0
+
+
+def _sample_backend(args, method: str) -> int:
+    """``sample`` from a saved non-Kamino artifact (free draws)."""
+    from repro.io.stream import stream_format_for, write_table_stream
+
+    relation = load_relation(args.schema)
+    dcs = load_dcs(args.dcs, relation=relation) if args.dcs else []
+    for flag in ("workers", "pool", "engine", "chunk_rows"):
+        if getattr(args, flag, None) is not None:
+            print(f"warning: --{flag.replace('_', '-')} applies to "
+                  f"Kamino models only; ignoring it for this {method} "
+                  f"model", file=sys.stderr)
+    try:
+        fitted = load_fitted(args.model, relation, dcs=dcs)
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    trace = RunTrace(label=f"sample:{args.model}") if args.trace else None
+    start = time.perf_counter()
+    table = fitted.sample(n=args.n, seed=args.seed, trace=trace)
+    seconds = time.perf_counter() - start
+    stream_fmt = stream_format_for(args.out)
+    if stream_fmt is not None:
+        rows = write_table_stream(args.out, relation, iter([table]),
+                                  fmt=stream_fmt)
+        print(f"wrote synthetic table to {args.out} (method={method}, "
+              f"n={rows}, {stream_fmt}, {seconds:.1f}s, no privacy "
+              f"spend)")
+    else:
+        save_bundle(args.out, table, dcs)
+        print(f"wrote synthetic bundle to {args.out} (method={method}, "
+              f"n={table.n}, sampling {seconds:.1f}s, no privacy spend)")
+    _finish_trace(args, trace)
+    return 0
+
+
 def cmd_fit(args) -> int:
     """Train once: spend the budget, write the released model artifact."""
     bundle = load_bundle(args.bundle)
+    method = _resolve_method(args, bundle)
+    if method != "kamino":
+        return _fit_backend(args, bundle, method)
     config = _config_from_args(args)
     trace = RunTrace(label=f"fit:{args.bundle}") if args.trace else None
     kamino = Kamino(bundle.relation, bundle.dcs, config=config)
@@ -239,6 +365,17 @@ def cmd_sample(args) -> int:
     n=10M never materializes in memory.
     """
     from repro.io.stream import stream_format_for, write_table_stream
+
+    detected = peek_method(args.model)  # None => native Kamino format
+    requested = getattr(args, "method", None)
+    if requested is not None:
+        stored = detected or "kamino"
+        if requested != stored:
+            print(f"error: {args.model} holds a {stored!r} model, not "
+                  f"{requested!r}", file=sys.stderr)
+            return 2
+    if detected is not None and detected != "kamino":
+        return _sample_backend(args, detected)
 
     relation = load_relation(args.schema)
     dcs = load_dcs(args.dcs, relation=relation) if args.dcs else []
@@ -298,6 +435,9 @@ def cmd_sample(args) -> int:
 
 def cmd_synthesize(args) -> int:
     bundle = load_bundle(args.bundle)
+    method = _resolve_method(args, bundle)
+    if method != "kamino":
+        return _synthesize_backend(args, bundle, method)
     config = _config_from_args(args)
     n_workers = config.workers if args.workers is None else args.workers
     pool = args.pool or config.pool
@@ -420,6 +560,12 @@ class _AppendOverDefault(argparse.Action):
 
 def _add_budget_arguments(p: argparse.ArgumentParser) -> None:
     """Budget/seed/override flags shared by ``fit`` and ``synthesize``."""
+    p.add_argument("--method", choices=tuple(backend_names()) + ("auto",),
+                   default="kamino",
+                   help="synthesis backend (default: kamino); 'auto' "
+                        "routes on the bundle's shape — DCs present -> "
+                        "kamino, wide unconstrained tables -> a "
+                        "marginal method")
     p.add_argument("--epsilon", default="1.0",
                    help="privacy budget; 'inf' for non-private")
     p.add_argument("--delta", type=float, default=1e-6)
@@ -487,6 +633,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="draw a synthetic bundle from a fitted model "
                             "(free post-processing, no private data)")
     p.add_argument("model", help=".npz file written by 'fit'")
+    p.add_argument("--method", choices=tuple(backend_names()),
+                   default=None,
+                   help="assert which backend wrote the model (the "
+                        "format is self-describing; this flag only "
+                        "fails fast on a mismatch)")
     p.add_argument("--schema", required=True,
                    help="public schema.json the model was fitted over")
     p.add_argument("--dcs", default=None,

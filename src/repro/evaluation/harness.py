@@ -7,20 +7,34 @@ privacy budget and returns its synthetic instance plus wall-clock time.
 suite (documented in DESIGN.md: shapes are scale-stable; the paper's
 server-scale settings are reproduced by the same code with
 ``fast=False``).
+
+Construction goes through the :mod:`repro.synth` registry — the paper's
+display names (``"PATE-GAN"``) map onto registry keys (``"pategan"``)
+via :data:`DISPLAY_TO_BACKEND`, and the returned object is a protocol
+:class:`~repro.synth.protocol.Synthesizer` (so callers can use the
+staged ``fit``/``sample`` split, not just ``fit_sample``).
 """
 
 from __future__ import annotations
 
-import math
 import time
 
-from repro.baselines import DPVae, NistMst, PateGan, PrivBayes
-from repro.core import Kamino
 from repro.datasets.base import Dataset
 from repro.schema.table import Table
+from repro.synth import registry as synth_registry
 
 #: Methods in the paper's reporting order.
 METHODS = ["DP-VAE", "NIST", "PrivBayes", "PATE-GAN", "Kamino"]
+
+#: Paper display name -> registry backend key.
+DISPLAY_TO_BACKEND = {
+    "DP-VAE": "dpvae",
+    "NIST": "nist_mst",
+    "PrivBayes": "privbayes",
+    "PATE-GAN": "pategan",
+    "Kamino": "kamino",
+    "Cleaning": "cleaning",
+}
 
 
 def _fast_kamino_override(params) -> None:
@@ -32,51 +46,47 @@ def _fast_kamino_override(params) -> None:
 def make_synthesizer(name: str, dataset: Dataset, epsilon: float,
                      delta: float = 1e-6, seed: int = 0,
                      fast: bool = True, **kwargs):
-    """Construct a synthesizer with a uniform fit_sample interface.
+    """Construct the named backend bound to ``dataset``'s constraints.
 
-    For Kamino the returned object is a closure over the dataset's DCs;
-    the baselines ignore constraints entirely.
+    ``name`` may be a paper display name (``"PATE-GAN"``) or a registry
+    key (``"pategan"``).  ``fast=True`` applies bench-scale iteration
+    caps; constraint-aware backends receive the dataset's DCs, the
+    others ignore constraints entirely.
     """
-    if name == "Kamino":
-        overrides = {}
-        if fast:
-            overrides["params_override"] = kwargs.pop(
-                "params_override", _fast_kamino_override)
-        kam = Kamino(dataset.relation, dataset.dcs, epsilon, delta,
-                     seed=seed, **overrides, **kwargs)
-
-        class _KaminoAdapter:
-            def fit_sample(self, table, n=None):
-                return kam.fit_sample(table, n=n).table
-        adapter = _KaminoAdapter()
-        adapter.kamino = kam
-        return adapter
-    if not math.isfinite(epsilon):
-        # Baselines' non-private mode: a huge finite budget (their code
-        # paths need a numeric epsilon).
-        epsilon = 1e6
-    if name == "PrivBayes":
-        return PrivBayes(epsilon, delta, seed=seed, **kwargs)
-    if name == "PATE-GAN":
-        iters = 60 if fast else 400
-        return PateGan(epsilon, delta, seed=seed, iterations=iters,
-                       **kwargs)
-    if name == "DP-VAE":
-        iters = 80 if fast else 600
-        return DPVae(epsilon, delta, seed=seed, iterations=iters, **kwargs)
-    if name == "NIST":
-        return NistMst(epsilon, delta, seed=seed, **kwargs)
-    raise KeyError(f"unknown method {name!r}; choose from {METHODS}")
+    backend = DISPLAY_TO_BACKEND.get(name, name)
+    if backend not in synth_registry.backend_names():
+        raise KeyError(f"unknown method {name!r}; choose from {METHODS} "
+                       f"or {synth_registry.backend_names()}")
+    if fast:
+        if backend == "kamino":
+            kwargs.setdefault("params_override", _fast_kamino_override)
+        elif backend == "pategan":
+            kwargs.setdefault("iterations", 60)
+        elif backend == "dpvae":
+            kwargs.setdefault("iterations", 80)
+    else:
+        if backend == "pategan":
+            kwargs.setdefault("iterations", 400)
+        elif backend == "dpvae":
+            kwargs.setdefault("iterations", 600)
+    return synth_registry.make_synthesizer(
+        backend, epsilon, delta=delta, seed=seed, dcs=dataset.dcs,
+        **kwargs)
 
 
 def run_method(name: str, dataset: Dataset, epsilon: float,
                delta: float = 1e-6, seed: int = 0, n: int | None = None,
-               fast: bool = True, **kwargs) -> tuple[Table, float]:
-    """Synthesize with one method; returns (table, seconds)."""
+               fast: bool = True, trace=None, **kwargs) -> tuple[Table, float]:
+    """Synthesize with one method; returns (table, seconds).
+
+    Runs the staged protocol explicitly — ``fit`` then the default
+    ``sample`` — which is bit-identical to the fused ``fit_sample``.
+    """
     synthesizer = make_synthesizer(name, dataset, epsilon, delta, seed,
                                    fast, **kwargs)
     start = time.perf_counter()
-    table = synthesizer.fit_sample(dataset.table, n=n)
+    fitted = synthesizer.fit(dataset.table, trace=trace)
+    table = fitted.sample(n, trace=trace)
     return table, time.perf_counter() - start
 
 

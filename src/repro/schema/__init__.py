@@ -16,7 +16,12 @@ encodes data before training.
 from repro.schema.domain import CategoricalDomain, Domain, NumericalDomain
 from repro.schema.relation import Attribute, Relation
 from repro.schema.table import Table
-from repro.schema.quantize import Quantizer, quantize_table
+from repro.schema.quantize import (
+    Quantizer,
+    dequantize_table,
+    quantize_relation,
+    quantize_table,
+)
 from repro.schema.split import train_test_split
 
 __all__ = [
@@ -27,6 +32,8 @@ __all__ = [
     "Quantizer",
     "Relation",
     "Table",
+    "dequantize_table",
+    "quantize_relation",
     "quantize_table",
     "train_test_split",
 ]

@@ -63,6 +63,29 @@ class Quantizer:
         return 0.5 * (self.edges[:-1] + self.edges[1:])
 
 
+def quantize_relation(relation: Relation,
+                      q: int = 16) -> tuple[Relation, dict]:
+    """The discretised view of a schema: numerical attributes become
+    ``q``-bin categoricals.
+
+    Returns the discrete relation plus the per-attribute
+    :class:`Quantizer` dict.  Both are pure functions of the *public*
+    schema — no data involved — which is what lets a fitted
+    discrete-domain synthesizer (PrivBayes, NIST) rebuild its working
+    relation from the schema alone at load time.
+    """
+    attrs, quantizers = [], {}
+    for attr in relation:
+        if attr.is_numerical:
+            quant = Quantizer(attr.domain, q)
+            labels = [f"bin{i}" for i in range(quant.q)]
+            attrs.append(Attribute(attr.name, CategoricalDomain(labels)))
+            quantizers[attr.name] = quant
+        else:
+            attrs.append(attr)
+    return Relation(attrs), quantizers
+
+
 def quantize_table(table: Table, q: int = 16) -> tuple[Table, dict]:
     """Discretise every numerical column of ``table`` into ``q`` bins.
 
@@ -73,20 +96,15 @@ def quantize_table(table: Table, q: int = 16) -> tuple[Table, dict]:
     Used by the discrete-only baselines (PrivBayes, NIST) and by the
     marginal evaluation.
     """
-    attrs, cols, quantizers = [], {}, {}
+    disc_relation, quantizers = quantize_relation(table.relation, q)
+    cols = {}
     for attr in table.relation:
         col = table.column(attr.name)
-        if attr.is_numerical:
-            quant = Quantizer(attr.domain, q)
-            codes = quant.encode(col)
-            labels = [f"bin{i}" for i in range(quant.q)]
-            attrs.append(Attribute(attr.name, CategoricalDomain(labels)))
-            cols[attr.name] = codes
-            quantizers[attr.name] = quant
+        if attr.name in quantizers:
+            cols[attr.name] = quantizers[attr.name].encode(col)
         else:
-            attrs.append(attr)
             cols[attr.name] = col.copy()
-    return Table(Relation(attrs), cols, validate=False), quantizers
+    return Table(disc_relation, cols, validate=False), quantizers
 
 
 def dequantize_table(table: Table, original: Relation, quantizers: dict,

@@ -1,0 +1,62 @@
+"""The synthesizer layer: one staged protocol over every backend.
+
+Kamino's experiments are defined against a field of competing DP
+synthesizers, and the ROADMAP's platform direction needs all of them to
+speak one interface.  This package defines that interface and the
+infrastructure around it:
+
+* :mod:`repro.synth.protocol` — the staged :class:`Synthesizer`
+  contract (``fit(table) -> FittedSynthesizer``,
+  ``FittedSynthesizer.sample(n, seed)``, ``save``/``load``) every
+  backend implements, mirroring PR 4's Kamino split: budget-consuming
+  work happens once in ``fit``; draws are seeded post-processing;
+* :mod:`repro.synth.ledger` — :class:`BudgetLedger`, the per-backend
+  record of every ``(mechanism, epsilon, delta)`` spend a fit makes
+  (replacing the baselines' hand-rolled epsilon splits);
+* :mod:`repro.synth.registry` — the string-name registry
+  (``kamino``, ``privbayes``, ``pategan``, ``dpvae``, ``nist_mst``,
+  ``cleaning``) with lazy backend imports, so a missing optional
+  dependency surfaces as a clear :class:`BackendUnavailable` error for
+  that one backend instead of an ImportError at CLI startup;
+* :mod:`repro.synth.router` — :func:`route`, the per-dataset method
+  router (constraints present → ``kamino``; wide low-constraint tables
+  → the marginal backend);
+* :mod:`repro.synth.io` — the shared fitted-artifact payload format
+  (``repro.synth/1`` ``.npz``) and format sniffing, so one
+  ``load_fitted`` call dispatches both synth payloads and native
+  Kamino model files.
+"""
+
+from repro.synth.io import is_synth_payload, peek_method
+from repro.synth.ledger import BudgetLedger, Spend
+from repro.synth.protocol import FittedSynthesizer, Synthesizer
+from repro.synth.registry import (
+    BACKENDS,
+    BackendUnavailable,
+    available_backends,
+    backend_names,
+    load_fitted,
+    make_synthesizer,
+    register_backend,
+    resolve_backend,
+)
+from repro.synth.router import WIDE_TABLE_WIDTH, route
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailable",
+    "BudgetLedger",
+    "FittedSynthesizer",
+    "Spend",
+    "Synthesizer",
+    "WIDE_TABLE_WIDTH",
+    "available_backends",
+    "backend_names",
+    "is_synth_payload",
+    "load_fitted",
+    "make_synthesizer",
+    "peek_method",
+    "register_backend",
+    "resolve_backend",
+    "route",
+]

@@ -1,0 +1,110 @@
+"""The shared fitted-artifact file format of the synthesizer layer.
+
+Every non-Kamino backend persists its fitted state as a ``repro.synth/1``
+payload: one ``.npz`` holding a JSON manifest (``manifest.json``) whose
+tree may reference numpy arrays stored alongside it.  The manifest
+records which backend wrote the file, so loading dispatches without the
+caller naming the method.  Kamino keeps its native model format
+(:mod:`repro.core.model_io`); :func:`peek_method` tells the two apart.
+
+The payload encoder handles exactly the state baselines carry — nested
+dicts/lists of JSON scalars and numpy arrays (arbitrary dtype/shape) —
+with no pickling: files are loadable with ``allow_pickle=False``.
+Tuples round-trip as lists; backends re-tuple on load where it matters.
+"""
+
+from __future__ import annotations
+
+import json
+import zipfile
+
+import numpy as np
+
+#: Format tag of the synth payload manifest.
+FORMAT_TAG = "repro.synth/1"
+
+_ARRAY_KEY = "__array__"
+
+
+def _encode(node, arrays: dict):
+    """Replace every ndarray in the tree with an npz slot reference."""
+    if isinstance(node, np.ndarray):
+        slot = f"arr{len(arrays)}"
+        arrays[slot] = node
+        return {_ARRAY_KEY: slot}
+    if isinstance(node, dict):
+        if _ARRAY_KEY in node:
+            raise ValueError(f"payload dicts may not use the reserved "
+                             f"key {_ARRAY_KEY!r}")
+        return {str(k): _encode(v, arrays) for k, v in node.items()}
+    if isinstance(node, (list, tuple)):
+        return [_encode(v, arrays) for v in node]
+    if isinstance(node, (np.integer,)):
+        return int(node)
+    if isinstance(node, (np.floating,)):
+        return float(node)
+    if isinstance(node, (np.bool_,)):
+        return bool(node)
+    if node is None or isinstance(node, (str, int, float, bool)):
+        return node
+    raise TypeError(f"payload cannot encode {type(node).__name__}")
+
+
+def _decode(node, data):
+    if isinstance(node, dict):
+        if set(node) == {_ARRAY_KEY}:
+            return data[node[_ARRAY_KEY]]
+        return {k: _decode(v, data) for k, v in node.items()}
+    if isinstance(node, list):
+        return [_decode(v, data) for v in node]
+    return node
+
+
+def save_payload(path: str, method: str, state: dict) -> None:
+    """Write a fitted backend's ``state`` tree as a synth payload."""
+    arrays: dict[str, np.ndarray] = {}
+    manifest = {
+        "format": FORMAT_TAG,
+        "method": str(method),
+        "state": _encode(state, arrays),
+    }
+    arrays["manifest.json"] = np.array(json.dumps(manifest))
+    np.savez(path, **arrays)
+
+
+def load_payload(path: str) -> tuple[str, dict]:
+    """Read a synth payload; returns ``(method, state)``."""
+    with np.load(path, allow_pickle=False) as data:
+        if "manifest.json" not in data.files:
+            raise ValueError(
+                f"{path} is not a synth payload (no manifest.json); "
+                f"Kamino model files load via FittedKamino.load")
+        manifest = json.loads(str(data["manifest.json"]))
+        if manifest.get("format") != FORMAT_TAG:
+            raise ValueError(f"unsupported synth payload format "
+                             f"{manifest.get('format')!r}")
+        return manifest["method"], _decode(manifest["state"], data)
+
+
+def is_synth_payload(path: str) -> bool:
+    """True when ``path`` is a ``repro.synth/1`` payload file."""
+    return peek_method(path) is not None
+
+
+def peek_method(path: str) -> str | None:
+    """The backend name recorded in a synth payload, else ``None``.
+
+    ``None`` covers both native Kamino model files and anything
+    unreadable — callers fall back to the Kamino loader, whose errors
+    are the informative ones.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "manifest.json" not in data.files:
+                return None
+            manifest = json.loads(str(data["manifest.json"]))
+    except (OSError, ValueError, zipfile.BadZipFile, KeyError):
+        return None
+    if manifest.get("format") != FORMAT_TAG:
+        return None
+    return manifest.get("method")

@@ -1,0 +1,108 @@
+"""Per-backend privacy spend accounting for the synthesizer protocol.
+
+Every backend's ``fit`` used to split its epsilon by hand (PrivBayes'
+``eps_struct = epsilon / 2.0``, the GAN/VAE calibrating one sigma for
+the whole budget, ...) with no record of where the budget went.  The
+:class:`BudgetLedger` makes each split an explicit, auditable
+``(mechanism, epsilon, delta)`` entry: a backend *requests* its share
+through :meth:`BudgetLedger.spend` and the ledger keeps the receipt.
+The protocol-conformance suite asserts every backend's total recorded
+spend equals its configured budget — an invariant hand-rolled splits
+could silently break.
+
+This is deliberately simpler than :class:`repro.privacy.PrivacyLedger`:
+that one composes *releases against one database* tightly via RDP
+curves; this one itemises *one fit's internal* budget split, where the
+backend's own calibration (e.g. the RDP accountant sizing a sigma for
+the whole ``(epsilon, delta)``) already guarantees the total.  Entries
+here answer "which mechanism got how much", summed by plain sequential
+composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Spend:
+    """One mechanism invocation's share of the fit budget."""
+
+    mechanism: str
+    epsilon: float
+    delta: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {"mechanism": self.mechanism, "epsilon": self.epsilon,
+                "delta": self.delta}
+
+
+class BudgetLedger:
+    """Ordered record of every ``(mechanism, epsilon, delta)`` spend.
+
+    Backends call :meth:`spend` at the point they consume budget; the
+    method returns the epsilon so a split reads as an assignment::
+
+        eps_struct = ledger.spend("laplace:structure", epsilon / 2.0)
+        eps_param = ledger.spend("laplace:cpt-counts", epsilon / 2.0)
+
+    :meth:`total_epsilon` / :meth:`total_delta` report the sequential
+    composition over all entries, which must equal the backend's
+    configured budget (pinned by the conformance suite).
+    """
+
+    def __init__(self, entries=()):
+        self.entries: list[Spend] = list(entries)
+
+    def spend(self, mechanism: str, epsilon: float,
+              delta: float = 0.0) -> float:
+        """Record one spend; returns ``epsilon`` for assignment chaining."""
+        epsilon = float(epsilon)
+        delta = float(delta)
+        if epsilon < 0 or delta < 0:
+            raise ValueError(
+                f"spend({mechanism!r}) must be non-negative, got "
+                f"epsilon={epsilon}, delta={delta}")
+        self.entries.append(Spend(mechanism, epsilon, delta))
+        return epsilon
+
+    def extend(self, other: "BudgetLedger") -> None:
+        """Absorb another ledger's entries (e.g. a wrapped backend's)."""
+        self.entries.extend(other.entries)
+
+    def total_epsilon(self) -> float:
+        return sum(entry.epsilon for entry in self.entries)
+
+    def total_delta(self) -> float:
+        return sum(entry.delta for entry in self.entries)
+
+    def summary(self) -> str:
+        """Human-readable itemisation, one line per spend plus a total."""
+        lines = ["budget ledger:"]
+        for entry in self.entries:
+            lines.append(f"  {entry.mechanism}: epsilon={entry.epsilon:g}"
+                         + (f", delta={entry.delta:g}" if entry.delta
+                            else ""))
+        lines.append(f"  TOTAL: epsilon={self.total_epsilon():g}, "
+                     f"delta={self.total_delta():g}")
+        return "\n".join(lines)
+
+    # -- persistence (embedded in the fitted-artifact payload) ---------
+    def to_dict(self) -> dict:
+        return {"entries": [entry.to_dict() for entry in self.entries]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BudgetLedger":
+        return cls(Spend(raw["mechanism"], raw["epsilon"], raw["delta"])
+                   for raw in data["entries"])
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        return (f"BudgetLedger(entries={len(self.entries)}, "
+                f"epsilon={self.total_epsilon():g}, "
+                f"delta={self.total_delta():g})")

@@ -1,0 +1,130 @@
+"""String-name registry of synthesis backends, with lazy imports.
+
+The registry is the single place that knows which backends exist and
+how to build them — the CLI's ``--method`` flag, the evaluation
+harness, and the future serve daemon all resolve through it.  Entries
+are ``"module:Class"`` strings imported only on first use, so a backend
+whose optional dependency is missing (e.g. ``nist_mst`` without
+networkx) costs nothing at import time and surfaces as a clear
+:class:`BackendUnavailable` error — naming the backend and the missing
+module — only when actually requested.
+"""
+
+from __future__ import annotations
+
+import math
+from importlib import import_module
+
+#: The built-in backends: Kamino plus the paper's five baselines.
+BACKENDS: dict[str, str] = {
+    "kamino": "repro.synth.kamino:KaminoSynthesizer",
+    "privbayes": "repro.baselines.privbayes:PrivBayes",
+    "pategan": "repro.baselines.pategan:PateGan",
+    "dpvae": "repro.baselines.dpvae:DPVae",
+    "nist_mst": "repro.baselines.nist_mst:NistMst",
+    "cleaning": "repro.baselines.cleaning:Cleaning",
+}
+
+#: Baselines have no non-private code path; ``epsilon=inf`` requests
+#: substitute this huge finite budget (their noise scales need a
+#: number), matching the evaluation harness's historical behavior.
+NONPRIVATE_EPSILON = 1e6
+
+
+class BackendUnavailable(RuntimeError):
+    """A registered backend cannot be imported (missing optional dep)."""
+
+    def __init__(self, name: str, reason: str):
+        self.name = name
+        self.reason = reason
+        super().__init__(
+            f"synthesis backend {name!r} is unavailable: {reason} "
+            f"(install the missing dependency, or pick another backend "
+            f"with --method)")
+
+
+def register_backend(name: str, target: str) -> None:
+    """Register (or override) a backend as a ``"module:Class"`` string."""
+    if ":" not in target:
+        raise ValueError(f"target must be 'module:Class', got {target!r}")
+    BACKENDS[str(name)] = target
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, registry order (Kamino first)."""
+    return list(BACKENDS)
+
+
+def resolve_backend(name: str):
+    """Import and return the backend class for ``name``.
+
+    Raises ``KeyError`` for unknown names and
+    :class:`BackendUnavailable` when the backend's module cannot be
+    imported (the registry itself never imports backends eagerly).
+    """
+    try:
+        target = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(backend_names())
+        raise KeyError(f"unknown synthesis backend {name!r}; "
+                       f"registered: {known}") from None
+    module_name, _, class_name = target.partition(":")
+    try:
+        module = import_module(module_name)
+    except ImportError as exc:
+        raise BackendUnavailable(name, str(exc)) from exc
+    try:
+        cls = getattr(module, class_name)
+    except AttributeError as exc:
+        raise BackendUnavailable(
+            name, f"{module_name} has no attribute {class_name!r}") \
+            from exc
+    return cls
+
+
+def available_backends() -> dict[str, str | None]:
+    """Importability of every registered backend.
+
+    Maps name → ``None`` when the backend resolves, else the reason it
+    cannot (the message a ``--method`` request would fail with).
+    """
+    out: dict[str, str | None] = {}
+    for name in BACKENDS:
+        try:
+            resolve_backend(name)
+            out[name] = None
+        except BackendUnavailable as exc:
+            out[name] = exc.reason
+    return out
+
+
+def make_synthesizer(name: str, epsilon: float, *, delta: float = 1e-6,
+                     seed: int = 0, dcs=(), **kwargs):
+    """Build a backend by registry name with a uniform signature.
+
+    ``dcs`` is forwarded only to backends that declare ``uses_dcs``
+    (``kamino``, ``cleaning``); ``epsilon=inf`` is mapped to
+    :data:`NONPRIVATE_EPSILON` for backends without a non-private mode.
+    Extra ``kwargs`` go to the backend constructor verbatim.
+    """
+    cls = resolve_backend(name)
+    if not math.isfinite(epsilon) and not cls.supports_infinite_epsilon:
+        epsilon = NONPRIVATE_EPSILON
+    if cls.uses_dcs:
+        kwargs["dcs"] = dcs
+    return cls(epsilon, delta=delta, seed=seed, **kwargs)
+
+
+def load_fitted(path: str, relation, dcs=()):
+    """Reload any fitted artifact, dispatching on the file format.
+
+    ``repro.synth/1`` payloads carry their backend name; anything else
+    is treated as a native Kamino model file.
+    """
+    from repro.synth.io import peek_method
+
+    method = peek_method(path)
+    if method is None:
+        method = "kamino"
+    cls = resolve_backend(method)
+    return cls.fitted_class().load(path, relation, dcs)

@@ -1,0 +1,49 @@
+"""The per-dataset method router: which backend should synthesize this?
+
+The comparative-study literature's point (and this repo's experiments)
+is that method choice is a routing decision, not a constant: Kamino's
+tuple-by-tuple sampling is the only backend that *enforces* denial
+constraints, but it pays a per-tuple price; marginal-based synthesis is
+cheap and accurate on wide low-constraint tables; a Bayesian network is
+the safe default in between.  :func:`route` encodes that decision so
+``--method auto`` (and the future serve daemon) can pick per dataset.
+"""
+
+from __future__ import annotations
+
+#: Attribute count at and beyond which a constraint-free table routes
+#: to the marginal backend (measure + infer scales with the number of
+#: low-order marginals, not with tuple interactions).
+WIDE_TABLE_WIDTH = 10
+
+
+def route(table=None, dcs=(), *, constraints_present: bool | None = None,
+          width: int | None = None,
+          wide_width: int = WIDE_TABLE_WIDTH) -> str:
+    """Pick a backend name for a dataset.
+
+    The decision needs only two facts, each either derived from
+    ``table``/``dcs`` or passed explicitly (so callers can route from a
+    schema description without materialising data):
+
+    * ``constraints_present`` — any denial constraints?  Then only the
+      constraint-aware backend preserves them: ``kamino``.
+    * ``width`` — attribute count.  Wide (``>= wide_width``)
+      low-constraint tables route to the marginal backend
+      (``nist_mst``); narrower ones to ``privbayes``, whose network
+      search is exponential-ish in parent sets but strong at small
+      width.
+
+    Returns a registry name; resolve it via
+    :func:`repro.synth.registry.make_synthesizer`.
+    """
+    if constraints_present is None:
+        constraints_present = bool(list(dcs))
+    if width is None:
+        if table is not None:
+            width = len(table.relation.names)
+    if constraints_present:
+        return "kamino"
+    if width is not None and width >= wide_width:
+        return "nist_mst"
+    return "privbayes"

@@ -293,3 +293,58 @@ def test_cmd_sample_engine_and_workers_flags(tpch_bundle, tmp_path,
                                       tables["w4"].column(attr),
                                       err_msg=attr)
     assert tables["row"].n == 60
+
+
+# ----------------------------------------------------------------------
+# --method (the multi-backend registry paths)
+# ----------------------------------------------------------------------
+def test_cmd_synthesize_method_privbayes(tpch_bundle, tmp_path, capsys):
+    out = tmp_path / "synth"
+    assert main(["synthesize", tpch_bundle, "--method", "privbayes",
+                 "--epsilon", "1.0", "--n", "50", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "method=privbayes" in text
+    assert "budget ledger:" in text and "TOTAL: epsilon=1" in text
+    assert load_bundle(str(out)).table.n == 50
+
+
+def test_cmd_fit_sample_round_trip_backend(tpch_bundle, tmp_path, capsys):
+    """A non-Kamino artifact serves deterministic draws via 'sample'."""
+    model = tmp_path / "pb.npz"
+    assert main(["fit", tpch_bundle, "--method", "privbayes",
+                 "--epsilon", "1.0", "--out", str(model)]) == 0
+    schema = f"{tpch_bundle}/schema.json"
+    tables = {}
+    for name in ("a", "b"):
+        out = tmp_path / name
+        assert main(["sample", str(model), "--schema", schema,
+                     "--out", str(out), "--n", "40", "--seed", "9"]) == 0
+    text = capsys.readouterr().out
+    assert "method=privbayes" in text
+    a = load_bundle(str(tmp_path / "a")).table
+    b = load_bundle(str(tmp_path / "b")).table
+    for attr in a.relation.names:
+        np.testing.assert_array_equal(a.column(attr), b.column(attr),
+                                      err_msg=attr)
+
+
+def test_cmd_sample_method_mismatch_fails(tpch_bundle, tmp_path, capsys):
+    model = tmp_path / "mst.npz"
+    assert main(["fit", tpch_bundle, "--method", "nist_mst",
+                 "--epsilon", "1.0", "--out", str(model)]) == 0
+    assert main(["sample", str(model), "--method", "privbayes",
+                 "--schema", f"{tpch_bundle}/schema.json",
+                 "--out", str(tmp_path / "x")]) == 2
+    assert "not 'privbayes'" in capsys.readouterr().err
+
+
+def test_cmd_synthesize_method_auto_routes_on_dcs(tpch_bundle, tmp_path,
+                                                  capsys):
+    """tpch ships DCs, so 'auto' must route to kamino."""
+    out = tmp_path / "synth"
+    assert main(["synthesize", tpch_bundle, "--method", "auto",
+                 "--epsilon", "inf", "--max-iterations", "4",
+                 "--n", "30", "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "routed to 'kamino'" in text
+    assert load_bundle(str(out)).table.n == 30
