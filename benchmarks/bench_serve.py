@@ -1,0 +1,159 @@
+"""Served-draw throughput: cached vs uncached requests per second.
+
+Stands up an in-process ``repro.serve`` server over a freshly fitted
+tiny artifact, then measures the two request regimes the serving layer
+distinguishes:
+
+- **uncached** — every request is a new ``(n, seed)`` key, so each one
+  renders a draw through the engine (executor + registry hot path,
+  draw-cache miss);
+- **cached** — every request repeats one key, so after the first
+  render the response body streams straight from the deterministic
+  draw cache (plus the 304 revalidation rate with ``If-None-Match``).
+
+The gap between the two is the point of the cache: a served repeat
+costs file I/O, not a draw.  Results land in a ``serve`` JSON section
+(written to ``--out``); merge it into a ``benchmarks/history/`` point
+alongside the ``exp10_engines`` payload — the regression gate only
+reads ``exp10_engines``, so the extra section rides along.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --n 500 --requests 20 --out BENCH_serve.json
+"""
+
+import argparse
+import json
+import threading
+import time
+
+from repro.core import Kamino
+from repro.datasets import load
+from repro.io import save_dcs, save_relation
+from repro.serve import KaminoServer, ServeClient, ServeConfig
+
+
+def _fit_artifact(root, dataset, rows, max_iterations, seed=0):
+    ds = load(dataset, n=rows, seed=seed)
+
+    def cap(params):
+        params.iterations = min(params.iterations, max_iterations)
+
+    fitted = Kamino(ds.relation, ds.dcs, epsilon=1.0, seed=seed,
+                    params_override=cap).fit(ds.table)
+    paths = {"model": f"{root}/model.npz",
+             "schema": f"{root}/schema.json",
+             "dcs": f"{root}/dcs.txt"}
+    fitted.save(paths["model"])
+    save_relation(ds.relation, paths["schema"])
+    save_dcs(ds.dcs, paths["dcs"], relation=ds.relation)
+    return paths
+
+
+def _timed_requests(client, model, n, keys, etag=None):
+    """Issue one request per (n, seed) key; return (seconds, statuses)."""
+    statuses = []
+    start = time.perf_counter()
+    for seed in keys:
+        resp = client.sample(model, n=n, seed=seed, etag=etag)
+        statuses.append(resp.status)
+    return time.perf_counter() - start, statuses
+
+
+def run(args):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as root:
+        paths = _fit_artifact(root, args.dataset, args.fit_rows,
+                              args.max_iterations)
+        server = KaminoServer(ServeConfig(f"{root}/models", port=0,
+                                          quiet=True))
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            client = ServeClient(server.base_url)
+            client.register("bench", paths["model"], paths["schema"],
+                            dcs=paths["dcs"])
+
+            # Warm the model (first request pays the cold load).
+            warm = client.sample("bench", n=args.n, seed=10_000)
+            assert warm.status == 200, warm.status
+
+            # Uncached: every request renders (distinct seeds).
+            seconds, statuses = _timed_requests(
+                client, "bench", args.n, range(args.requests))
+            assert set(statuses) == {200}
+            uncached_rps = args.requests / seconds
+            uncached = {"requests": args.requests,
+                        "seconds": round(seconds, 4),
+                        "req_per_sec": round(uncached_rps, 2),
+                        "rows_per_sec": round(
+                            args.requests * args.n / seconds, 1)}
+
+            # Cached: every request repeats one key.
+            first = client.sample("bench", n=args.n, seed=0)
+            seconds, statuses = _timed_requests(
+                client, "bench", args.n, [0] * args.requests)
+            assert set(statuses) == {200}
+            cached_rps = args.requests / seconds
+            cached = {"requests": args.requests,
+                      "seconds": round(seconds, 4),
+                      "req_per_sec": round(cached_rps, 2)}
+
+            # Revalidation: If-None-Match answers 304 without a body.
+            seconds, statuses = _timed_requests(
+                client, "bench", args.n, [0] * args.requests,
+                etag=first.etag)
+            assert set(statuses) == {304}
+            revalidate = {"requests": args.requests,
+                          "seconds": round(seconds, 4),
+                          "req_per_sec": round(
+                              args.requests / seconds, 2)}
+
+            stats = client.metrics_json()["cache"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    payload = {
+        "serve": {
+            "dataset": args.dataset,
+            "n": args.n,
+            "uncached": uncached,
+            "cached": cached,
+            "revalidate_304": revalidate,
+            "cache_speedup": round(cached_rps / uncached_rps, 1),
+            "cache_stats": {k: stats[k] for k in
+                            ("hits", "misses", "hit_rate", "entries")},
+        }
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.out}")
+    return payload
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="tpch")
+    parser.add_argument("--fit-rows", type=int, default=60,
+                        help="private rows for the throwaway fit")
+    parser.add_argument("--max-iterations", type=int, default=6,
+                        help="cap training iterations (bench scale)")
+    parser.add_argument("--n", type=int, default=500,
+                        help="rows per served draw")
+    parser.add_argument("--requests", type=int, default=20,
+                        help="requests per regime")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON payload here")
+    run(parser.parse_args())
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,13 @@ as ``python -m repro.cli``)::
     repro-kamino evaluate bundle_dir/ synth_dir/ --alpha 1 --alpha 2
     repro-kamino ledger ledger.json
     repro-kamino bench-compare BENCH_exp10.json --gate
+    repro-kamino serve --models-dir models/ --port 8765
+
+``serve`` runs the long-running synthesis service (:mod:`repro.serve`):
+a model registry with named, content-digest-versioned artifacts held
+hot in memory, HTTP ``GET /sample`` draws streamed through the staged
+engine, a deterministic ETag'd draw cache, queue backpressure, and
+``/metrics`` — see ``docs/SERVING.md``.
 
 ``fit``, ``sample``, and ``synthesize`` accept ``--trace out.json``:
 the run writes a stable-keyed telemetry document (fit-phase timers,
@@ -539,6 +546,55 @@ def cmd_ledger(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the long-running synthesis service (see docs/SERVING.md).
+
+    Holds fitted artifacts hot behind the model registry, serves
+    deterministic draws over HTTP with an ETag'd response cache, and
+    applies queue backpressure under load.  Register artifacts up front
+    with repeated ``--register NAME:MODEL:SCHEMA[:DCS]`` flags or at
+    runtime via ``POST /models``.
+    """
+    from repro.serve import ServeConfig, KaminoServer
+
+    specs = []
+    for spec in args.register or []:
+        parts = spec.split(":")
+        if len(parts) not in (3, 4):
+            print(f"error: --register wants NAME:MODEL:SCHEMA[:DCS], "
+                  f"got {spec!r}", file=sys.stderr)
+            return 2
+        specs.append(parts)
+    config = ServeConfig(
+        models_dir=args.models_dir, cache_dir=args.cache_dir,
+        host=args.host, port=args.port, hot_limit=args.hot_limit,
+        cache_max_bytes=args.cache_max_bytes,
+        max_pending=args.max_pending, timeout=args.timeout,
+        workers=args.workers, pool=args.pool,
+        chunk_rows=args.chunk_rows, quiet=args.quiet)
+    server = KaminoServer(config)
+    for parts in specs:
+        record = server.registry.register(
+            parts[0], parts[1], parts[2],
+            dcs_path=parts[3] if len(parts) == 4 else None)
+        print(f"registered {record.name}:{record.version} "
+              f"(method={record.method}, {record.nbytes} bytes)")
+    names = server.registry.model_names()
+    print(f"repro-kamino serve on {server.base_url} — "
+          f"{len(names)} model(s) registered "
+          f"({', '.join(names) if names else 'register via POST /models'})")
+    print(f"models: {config.models_dir}  cache: {config.cache_dir}  "
+          f"hot_limit={config.hot_limit} max_pending={config.max_pending} "
+          f"timeout={config.timeout:g}s")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser wiring
 # ----------------------------------------------------------------------
@@ -707,6 +763,43 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ledger", help="print a privacy ledger summary")
     p.add_argument("ledger")
     p.set_defaults(fn=cmd_ledger)
+
+    p = sub.add_parser("serve",
+                       help="run the synthesis service: hot model "
+                            "registry, deterministic draw cache, and "
+                            "HTTP sampling over the staged engine")
+    p.add_argument("--models-dir", required=True,
+                   help="registry root (models/<name>/<version>.*)")
+    p.add_argument("--cache-dir", default=None,
+                   help="draw-cache directory (default: "
+                        "<models-dir>/_cache)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="listen port (0 picks a free one; default 8765)")
+    p.add_argument("--register", action="append", metavar="SPEC",
+                   default=None,
+                   help="register an artifact at startup as "
+                        "NAME:MODEL:SCHEMA[:DCS] (repeatable)")
+    p.add_argument("--hot-limit", type=int, default=8,
+                   help="max fitted models held in memory (LRU beyond)")
+    p.add_argument("--cache-max-bytes", type=int, default=256 << 20,
+                   help="draw-cache size bound in bytes (default 256MiB)")
+    p.add_argument("--max-pending", type=int, default=16,
+                   help="max distinct renders in flight before 429s")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request render wait in seconds before 503s")
+    p.add_argument("--workers", type=int, default=None,
+                   help="shard Kamino draws over N workers (0 = auto "
+                        "from cpu_count; bit-identical to any other "
+                        "count — the cache stays coherent)")
+    p.add_argument("--pool", choices=("thread", "process"), default=None,
+                   help="execution lane for --workers > 1")
+    p.add_argument("--chunk-rows", type=int, default=None,
+                   help="rows per streamed render chunk (default: each "
+                        "model's own stream_chunk_rows)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-request access logging")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("bench-compare",
                        help="diff a benchmark run against the committed "

@@ -1,0 +1,122 @@
+"""A thin stdlib client for the serving API.
+
+Used by the test suite and the CI ``serve-smoke`` job; also a worked
+example of the HTTP contract (see ``docs/SERVING.md``).  Only
+``urllib`` — the client adds nothing the endpoints don't already
+guarantee, it just shapes requests and responses::
+
+    client = ServeClient("http://127.0.0.1:8765")
+    client.register("adult", "model.npz", "schema.json", dcs="dcs.txt")
+    resp = client.sample("adult", n=1000, seed=7)
+    resp.body                     # the full response bytes
+    again = client.sample("adult", n=1000, seed=7, etag=resp.etag)
+    again.status                  # 304 — revalidated, no body resent
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass
+
+
+@dataclass
+class ServeResponse:
+    """One HTTP exchange: status, selected headers, body bytes."""
+
+    status: int
+    headers: dict
+    body: bytes
+
+    @property
+    def etag(self) -> str | None:
+        return self.headers.get("ETag")
+
+    @property
+    def cache_state(self) -> str | None:
+        """``"hit"`` / ``"miss"`` from the ``X-Cache`` header."""
+        return self.headers.get("X-Cache")
+
+    def json(self):
+        return json.loads(self.body.decode())
+
+
+class ServeClient:
+    """Requests against one running ``repro-kamino serve`` instance."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # -- endpoints ------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz").json()
+
+    def models(self) -> list[dict]:
+        return self._request("GET", "/models").json()["models"]
+
+    def register(self, name: str, model: str, schema: str,
+                 dcs: str | None = None) -> dict:
+        """Register a server-local artifact; returns the record."""
+        payload = {"name": name, "model": model, "schema": schema}
+        if dcs:
+            payload["dcs"] = dcs
+        resp = self._request("POST", "/models",
+                             body=json.dumps(payload).encode(),
+                             content_type="application/json")
+        if resp.status != 201:
+            raise RuntimeError(
+                f"registration failed ({resp.status}): "
+                f"{resp.body.decode(errors='replace')}")
+        return resp.json()
+
+    def sample(self, model: str, n: int | None = None,
+               seed: int | None = None, version: str | None = None,
+               fmt: str = "csv", etag: str | None = None) -> ServeResponse:
+        """One draw request; pass ``etag`` to revalidate (304 on match).
+
+        Raises on transport errors; HTTP error statuses (404/429/503/…)
+        come back as the response so callers can read the backpressure
+        headers.
+        """
+        params = {"model": model, "format": fmt}
+        if version is not None:
+            params["version"] = version
+        if n is not None:
+            params["n"] = str(n)
+        if seed is not None:
+            params["seed"] = str(seed)
+        headers = {"If-None-Match": etag} if etag else {}
+        return self._request(
+            "GET", "/sample?" + urllib.parse.urlencode(params),
+            headers=headers)
+
+    def metrics(self) -> str:
+        """The Prometheus text scrape."""
+        return self._request("GET", "/metrics").body.decode()
+
+    def metrics_json(self) -> dict:
+        return self._request("GET", "/metrics?format=json").json()
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, body: bytes | None = None,
+                 content_type: str | None = None,
+                 headers: dict | None = None) -> ServeResponse:
+        request = urllib.request.Request(self.base_url + path, data=body,
+                                         method=method)
+        if content_type:
+            request.add_header("Content-Type", content_type)
+        for key, value in (headers or {}).items():
+            request.add_header(key, value)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as resp:
+                return ServeResponse(resp.status, dict(resp.headers),
+                                     resp.read())
+        except urllib.error.HTTPError as exc:
+            # 304 and the backpressure statuses are API answers, not
+            # transport failures.
+            return ServeResponse(exc.code, dict(exc.headers),
+                                 exc.read() or b"")

@@ -1,0 +1,125 @@
+"""Serving telemetry: per-model counters folded from request traces.
+
+Every uncached draw threads a :class:`repro.obs.trace.RunTrace` through
+the render (the same collector ``fit``/``sample`` use), and the server
+folds each finished trace into this aggregate.  ``/metrics`` renders it
+two ways:
+
+* **Prometheus text** (the default) — counters and gauges in the
+  exposition format scrapers expect;
+* **JSON** (``?format=json``) — the same numbers plus the most recent
+  per-draw trace documents, for tests and humans.
+
+Rendering pulls live queue depth and cache stats from the executor and
+draw cache at scrape time, so the scrape is always current without the
+hot path touching anything beyond its own counters.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+#: Recent per-draw trace documents kept for the JSON view.
+RECENT_DRAWS = 32
+
+
+class ServeMetrics:
+    """Thread-safe counters of everything the server did."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: (model, status) -> request count.  ``model`` is the request's
+        #: model name, or ``"-"`` when the route has none.
+        self.requests: dict[tuple[str, str], int] = OrderedDict()
+        #: model:version -> {draws, rows, seconds}
+        self.draws: dict[str, dict] = OrderedDict()
+        self.recent: deque = deque(maxlen=RECENT_DRAWS)
+
+    def observe_request(self, model: str | None, status: int) -> None:
+        key = (model or "-", str(status))
+        with self._lock:
+            self.requests[key] = self.requests.get(key, 0) + 1
+
+    def observe_draw(self, model_key: str, rows: int, seconds: float,
+                     trace=None) -> None:
+        """Fold one rendered draw (and its RunTrace) into the totals."""
+        with self._lock:
+            entry = self.draws.setdefault(
+                model_key, {"draws": 0, "rows": 0, "seconds": 0.0})
+            entry["draws"] += 1
+            entry["rows"] += int(rows)
+            entry["seconds"] += float(seconds)
+            if trace is not None:
+                self.recent.append(trace.to_dict())
+
+    # -- rendering ------------------------------------------------------
+    def snapshot(self, cache_stats: dict, queue_stats: dict,
+                 loaded_models: int) -> dict:
+        with self._lock:
+            draws = {
+                key: dict(entry, rows_per_sec=round(
+                    entry["rows"] / max(entry["seconds"], 1e-9), 1))
+                for key, entry in self.draws.items()
+            }
+            return {
+                "requests": {f"{m}|{s}": c
+                             for (m, s), c in self.requests.items()},
+                "draws": draws,
+                "cache": dict(cache_stats),
+                "queue": dict(queue_stats),
+                "models_loaded": loaded_models,
+                "recent_traces": list(self.recent),
+            }
+
+    def render_prometheus(self, cache_stats: dict, queue_stats: dict,
+                          loaded_models: int) -> str:
+        """The Prometheus exposition-format scrape body."""
+        snap = self.snapshot(cache_stats, queue_stats, loaded_models)
+        lines = [
+            "# TYPE kamino_serve_requests_total counter",
+        ]
+        for key, count in snap["requests"].items():
+            model, status = key.rsplit("|", 1)
+            lines.append(
+                f'kamino_serve_requests_total{{model="{model}",'
+                f'status="{status}"}} {count}')
+        lines.append("# TYPE kamino_serve_draws_total counter")
+        for model, entry in snap["draws"].items():
+            labels = f'{{model="{model}"}}'
+            lines.append(
+                f"kamino_serve_draws_total{labels} {entry['draws']}")
+            lines.append(
+                f"kamino_serve_draw_rows_total{labels} {entry['rows']}")
+            lines.append(
+                f"kamino_serve_draw_seconds_total{labels} "
+                f"{entry['seconds']:.6f}")
+            lines.append(
+                f"kamino_serve_rows_per_sec{labels} "
+                f"{entry['rows_per_sec']}")
+        cache = snap["cache"]
+        lines += [
+            "# TYPE kamino_serve_cache_hits_total counter",
+            f"kamino_serve_cache_hits_total {cache.get('hits', 0)}",
+            f"kamino_serve_cache_misses_total {cache.get('misses', 0)}",
+            f"kamino_serve_cache_evictions_total "
+            f"{cache.get('evictions', 0)}",
+            "# TYPE kamino_serve_cache_hit_rate gauge",
+            f"kamino_serve_cache_hit_rate {cache.get('hit_rate', 0.0)}",
+            f"kamino_serve_cache_bytes {cache.get('bytes', 0)}",
+            f"kamino_serve_cache_entries {cache.get('entries', 0)}",
+        ]
+        queue = snap["queue"]
+        lines += [
+            "# TYPE kamino_serve_queue_depth gauge",
+            f"kamino_serve_queue_depth {queue.get('depth', 0)}",
+            f"kamino_serve_queue_coalesced_total "
+            f"{queue.get('coalesced', 0)}",
+            f"kamino_serve_queue_rejected_total "
+            f"{queue.get('rejected', 0)}",
+            f"kamino_serve_queue_timeouts_total "
+            f"{queue.get('timeouts', 0)}",
+            "# TYPE kamino_serve_models_loaded gauge",
+            f"kamino_serve_models_loaded {loaded_models}",
+        ]
+        return "\n".join(lines) + "\n"

@@ -40,6 +40,10 @@ class FittedKaminoSynthesizer(FittedSynthesizer):
     """Protocol view of a :class:`FittedKamino` artifact."""
 
     method = "kamino"
+    #: Kamino's blocked engine streams chunks at flat memory
+    #: (:meth:`FittedKamino.sample_stream`), not the protocol's
+    #: chunk-a-single-shot fallback.
+    supports_native_stream = True
 
     def __init__(self, fitted: FittedKamino):
         super().__init__(fitted.relation, fitted.default_n,
@@ -55,6 +59,33 @@ class FittedKaminoSynthesizer(FittedSynthesizer):
         surface is the portable subset.
         """
         return self.fitted.sample(n=n, seed=seed, trace=trace).table
+
+    def sample_stream(self, n=None, seed=None, chunk_rows=None, *,
+                      trace=None):
+        """Bounded-memory chunks via :meth:`FittedKamino.sample_stream`.
+
+        Same contract as the protocol default — concatenated chunks
+        equal the single-shot draw bit for bit — but peak memory holds
+        one chunk, never the full ``n`` rows.  ``trace`` records one
+        run-level :class:`~repro.obs.trace.SampleTrace` timed over the
+        drain (the underlying stream has no per-column hook); it never
+        touches an rng.
+        """
+        n_out = self.fitted.default_n if n is None else int(n)
+        chunks = self.fitted.sample_stream(n=n_out, seed=seed,
+                                           chunk_rows=chunk_rows)
+        if trace is None:
+            return chunks
+        return self._traced_drain(chunks, n_out, seed, trace)
+
+    def _traced_drain(self, chunks, n_out, seed, trace):
+        import time
+        run = trace.begin_sample(f"{self.fitted.config.engine}-stream",
+                                 n_out, seed)
+        start = time.perf_counter()
+        for chunk in chunks:
+            yield chunk
+        run.finish(time.perf_counter() - start)
 
     def save(self, path: str) -> None:
         """Native Kamino model format v2, not the synth payload —

@@ -40,6 +40,21 @@ from repro.synth.io import load_payload, save_payload
 from repro.synth.ledger import BudgetLedger
 
 
+#: Default rows per yielded chunk of the protocol-level
+#: :meth:`FittedSynthesizer.sample_stream` fallback (matches
+#: ``KaminoConfig.stream_chunk_rows``).
+DEFAULT_STREAM_CHUNK_ROWS = 65536
+
+
+def sliced_chunks(table: Table, relation, n: int, chunk: int):
+    """Yield ``table`` as contiguous row slices of ``chunk`` rows."""
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        yield Table(relation,
+                    {a: table.column(a)[lo:hi] for a in relation.names},
+                    validate=False)
+
+
 class Synthesizer:
     """Base class of every registered synthesis backend.
 
@@ -108,6 +123,12 @@ class FittedSynthesizer:
 
     #: Registry key of the backend that produced this artifact.
     method: str = ""
+    #: Whether :meth:`sample_stream` is a true bounded-memory stream
+    #: (Kamino's chunked engine) or the default chunk-a-single-shot
+    #: fallback.  Surfaced per model in the serve layer's
+    #: ``GET /models`` so clients know which artifacts can stream
+    #: arbitrarily large draws at flat memory.
+    supports_native_stream: bool = False
 
     def __init__(self, relation, default_n: int, seed: int,
                  ledger: BudgetLedger | None = None, rng_state=None):
@@ -156,6 +177,29 @@ class FittedSynthesizer:
 
     def _sample(self, n: int, rng: np.random.Generator) -> Table:
         raise NotImplementedError
+
+    def sample_stream(self, n: int | None = None, seed: int | None = None,
+                      chunk_rows: int | None = None, *, trace=None):
+        """Draw ``n`` rows as an iterator of :class:`Table` chunks.
+
+        Concatenating the chunks in order is bit-identical to
+        ``sample(n, seed)`` — chunking is pure output scheduling.  The
+        protocol-level default materializes one single-shot draw and
+        slices it (bounded *output* granularity, not bounded peak
+        memory); backends with a genuinely incremental draw override
+        this and set :attr:`supports_native_stream` (Kamino's blocked
+        engine streams at flat memory).  ``chunk_rows`` defaults to
+        :data:`DEFAULT_STREAM_CHUNK_ROWS`.
+        """
+        n_out = self.default_n if n is None else int(n)
+        if n_out < 0:
+            raise ValueError(f"n must be >= 0, got {n_out}")
+        chunk = DEFAULT_STREAM_CHUNK_ROWS if chunk_rows is None \
+            else int(chunk_rows)
+        if chunk < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk}")
+        table = self.sample(n_out, seed, trace=trace)
+        return sliced_chunks(table, self.relation, n_out, chunk)
 
     # -- persistence ---------------------------------------------------
     def _model_state(self) -> dict:
