@@ -350,9 +350,13 @@ def cmd_fit(args) -> int:
     config = _config_from_args(args)
     trace = RunTrace(label=f"fit:{args.bundle}") if args.trace else None
     kamino = Kamino(bundle.relation, bundle.dcs, config=config)
-    fitted = kamino.fit(bundle.table, trace=trace)
+    fitted = kamino.fit(bundle.table, trace=trace,
+                        checkpoint_dir=args.checkpoint_dir)
     fitted.save(args.out)
     fit_seconds = sum(fitted.fit_timings.values())
+    if fitted.resumed_from is not None:
+        print(f"resumed from checkpoint (completed through "
+              f"{fitted.resumed_from!r}; that budget was not re-spent)")
     print(f"wrote fitted model to {args.out} "
           f"(trained on n={bundle.n}, fit {fit_seconds:.1f}s)")
     if fitted.private:
@@ -681,6 +685,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("bundle")
     p.add_argument("--out", required=True,
                    help="output .npz model file")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="persist a crash-safe checkpoint after each fit "
+                        "phase; re-running the same fit resumes from the "
+                        "newest valid checkpoint without re-spending "
+                        "budget (cleared once the fit completes)")
     _add_budget_arguments(p)
     _add_trace_argument(p)
     p.set_defaults(fn=cmd_fit)

@@ -74,15 +74,18 @@ Entry point: :func:`synthesize_engine` — the blocked counterpart of
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.hyper import HyperSpec
+from repro.faults import fault_point
 from repro.core.sampling import (
     PrefixScanRequired,
     _allocate_columns,
@@ -97,6 +100,8 @@ from repro.core.sampling import (
 from repro.constraints.index import FDViolationIndex
 from repro.constraints.violations import multi_candidate_violation_counts
 from repro.schema.table import Table
+
+_LOG = logging.getLogger("repro.engine")
 
 #: Fixed row-chunk of the counter-based noise streams.  Part of the
 #: persisted rng spec (model format v2): draws reproduce only under the
@@ -1269,6 +1274,7 @@ def _pool_unconstrained(j: int, lo: int, hi: int, noise_key: tuple,
     gathered context slices equals the parent's full-table slice; the
     noise key addresses global rows, so the draw is position-exact.
     """
+    fault_point("engine.worker")
     s = _POOL_SAMPLER
     m = hi - lo
     base = s.base_distribution(j, wctx, m)
@@ -1287,6 +1293,7 @@ def _pool_constrained(j: int, rows: np.ndarray, noise_key: tuple,
                       max_block: int):
     """Worker-side group-closed constrained shard (compact spec in,
     target column slices out)."""
+    fault_point("engine.worker")
     s = _POOL_SAMPLER
     m = rows.shape[0]
     base = s.base_distribution(j, wctx, m)
@@ -1312,18 +1319,30 @@ def synthesize_row_subprocess(model, relation, dcs, weights, n: int,
     The row engine is inherently sequential, so ``pool="process"``
     means "the whole draw in a subprocess" — same computation, other
     address space, trivially bit-identical.  The parent's rng object is
-    never advanced (the child works on the pickled copy).
+    never advanced (the child works on the pickled copy) — which is
+    also what makes the self-healing path safe: if the worker dies, the
+    draw re-runs in-process from the same starting state, bit-identical
+    to what the worker would have produced.
     """
-    with ProcessPoolExecutor(max_workers=1,
-                             mp_context=_pool_context()) as ex:
-        cols = ex.submit(
-            _row_draw_task, model, relation, dcs, weights, n, params,
-            rng, hyper, use_fd_lookup, use_violation_index).result()
+    try:
+        with ProcessPoolExecutor(max_workers=1,
+                                 mp_context=_pool_context()) as ex:
+            cols = ex.submit(
+                _row_draw_task, model, relation, dcs, weights, n, params,
+                rng, hyper, use_fd_lookup, use_violation_index).result()
+    except BrokenProcessPool:
+        _LOG.warning("row-draw worker process died; retrying the draw "
+                     "in-process (output unchanged)")
+        return _synthesize_row(
+            model, relation, dcs, weights, n, params, rng, hyper=hyper,
+            use_fd_lookup=use_fd_lookup,
+            use_violation_index=use_violation_index)
     return Table(relation, cols, validate=False)
 
 
 def _row_draw_task(model, relation, dcs, weights, n, params, rng, hyper,
                    use_fd_lookup, use_violation_index):
+    fault_point("engine.worker")
     table = _synthesize_row(
         model, relation, dcs, weights, n, params, rng, hyper=hyper,
         use_fd_lookup=use_fd_lookup,
@@ -1334,6 +1353,27 @@ def _row_draw_task(model, relation, dcs, weights, n, params, rng, hyper,
 # ----------------------------------------------------------------------
 # Sharded dispatch (parent side)
 # ----------------------------------------------------------------------
+def _heal_pool(ppool, workers: int, tpool, tracer=None):
+    """Retire a broken process pool; return the thread-pool fallback.
+
+    Safe to call mid-draw: both process dispatchers collect *every*
+    shard future before stitching a single byte, so a worker death
+    leaves the output columns untouched and the whole column pass can
+    re-run on the surviving lane — bit-identical, because the draw is a
+    pure function of ``(model, n, seed)`` and the lane is scheduling.
+    The degrade is recorded on the column trace (``pool_broken``) and
+    the ``repro.engine`` logger.
+    """
+    _LOG.warning("process-pool worker died; degrading this draw to the "
+                 "thread pool (output unchanged)")
+    ppool.shutdown(wait=False)
+    if tracer is not None:
+        tracer.count("pool_broken", 1)
+    if tpool is None:
+        tpool = ThreadPoolExecutor(max_workers=workers)
+    return tpool
+
+
 def _fd_shard_closed(specs: list, fd_indexes: list) -> bool:
     """True when every FD-lookup determinant group is shard-closed.
 
@@ -1497,9 +1537,18 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
                 if col_trace is not None:
                     col_trace.mode = "unconstrained"
                 if ppool is not None:
-                    _fill_unconstrained_process(
-                        sampler, j, noise_key, cols, wcols, n, ppool,
-                        workers, tracer=col_trace)
+                    try:
+                        _fill_unconstrained_process(
+                            sampler, j, noise_key, cols, wcols, n, ppool,
+                            workers, tracer=col_trace)
+                    except BrokenProcessPool:
+                        tpool = _heal_pool(ppool, workers, tpool,
+                                           tracer=col_trace)
+                        ppool = None
+                        _fill_unconstrained(sampler, j, base, layout,
+                                            noise_key, cols, wcols, n,
+                                            tpool, workers,
+                                            tracer=col_trace)
                 else:
                     _fill_unconstrained(sampler, j, base, layout,
                                         noise_key, cols, wcols, n,
@@ -1517,10 +1566,21 @@ def synthesize_engine(model, relation, dcs, weights, n: int, params,
                             "cat-sharded" if layout.kind == "cat"
                             else "num-sharded")
                         col_trace.count("shards", len(shards))
-                    _run_sharded(sampler, j, base, layout, noise_key,
-                                 cols, wcols, specs, shards,
-                                 max_block_rows, tpool, ppool,
-                                 tracer=col_trace)
+                    try:
+                        _run_sharded(sampler, j, base, layout, noise_key,
+                                     cols, wcols, specs, shards,
+                                     max_block_rows, tpool, ppool,
+                                     tracer=col_trace)
+                    except BrokenProcessPool:
+                        if ppool is None:
+                            raise
+                        tpool = _heal_pool(ppool, workers, tpool,
+                                           tracer=col_trace)
+                        ppool = None
+                        _run_sharded(sampler, j, base, layout, noise_key,
+                                     cols, wcols, specs, shards,
+                                     max_block_rows, tpool, None,
+                                     tracer=col_trace)
                 else:
                     col = _ColumnPass(sampler, j, base, layout,
                                       _CellNoise(*noise_key), cols,

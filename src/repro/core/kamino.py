@@ -61,6 +61,7 @@ from repro.core.sequencing import (
 )
 from repro.core.training import ProbModel, train_model
 from repro.core.weights import learn_dc_weights
+from repro.faults import fault_point
 from repro.schema.table import Table
 
 _WEIGHT_ESTIMATORS = ("matrix", "capped")
@@ -290,6 +291,15 @@ class FittedKamino:
     #: persisted with the model so reloaded artifacts replay their
     #: draws; None on legacy artifacts (which default to engine="row").
     rng_spec: dict | None = None
+    #: Per-phase privacy-spend itemisation of the fit that produced
+    #: this artifact (a :class:`repro.synth.ledger.BudgetLedger`;
+    #: checkpoint-restored phases are marked ``resumed``).  Runtime
+    #: record of the fit — not part of the persisted model format, so
+    #: :meth:`load` leaves it ``None``.
+    ledger: object | None = None
+    #: Checkpoint stage this fit resumed from (``None`` for a fresh,
+    #: uninterrupted fit).  Runtime-only, like ``ledger``.
+    resumed_from: str | None = None
 
     @property
     def private(self) -> bool:
@@ -536,6 +546,35 @@ class FittedKamino:
                    rng_spec=payload["rng_spec"])
 
 
+def _phase_epsilons(params: KaminoParams) -> tuple[float, float]:
+    """Split the achieved end-to-end epsilon across the fit phases.
+
+    The accountant converts one *composed* RDP curve (Theorem 1), so
+    per-phase epsilons are an attribution, not independent guarantees:
+    each mechanism family's share of the total RDP at the converting
+    order ``best_alpha`` is applied pro-rata to ``achieved_epsilon``.
+    Returns ``(training, weights)`` — training covers M1 (histogram
+    releases) + M2 (DP-SGD), weights covers M3 (the violation-matrix
+    release); the two sum to ``achieved_epsilon``.
+    """
+    eps = params.achieved_epsilon
+    if not math.isfinite(eps) or eps <= 0:
+        return 0.0, 0.0
+    alpha = int(params.best_alpha)
+    if not params.learn_weights or alpha < 2 or params.n <= 0:
+        return eps, 0.0
+    from repro.privacy.rdp import kamino_rdp, rdp_sgm
+    total_rdp = kamino_rdp(
+        alpha, sigma_g=params.sigma_g, sigma_d=params.sigma_d,
+        T=params.iterations, k=params.k, b=params.batch, n=params.n,
+        learn_weights=True, sigma_w=params.sigma_w, L_w=params.L_w,
+        n_hist=params.n_hist, n_submodels=params.n_submodels)
+    m3_rdp = rdp_sgm(min(params.L_w / params.n, 1.0), params.sigma_w,
+                     alpha)
+    share = m3_rdp / total_rdp if total_rdp > 0 else 0.0
+    return eps * (1.0 - share), eps * share
+
+
 class Kamino:
     """Constraint-aware differentially private data synthesizer.
 
@@ -631,7 +670,7 @@ class Kamino:
     # ------------------------------------------------------------------
     def fit(self, table: Table,
             weights: dict[str, float] | None = None,
-            trace=None) -> FittedKamino:
+            trace=None, checkpoint_dir: str | None = None) -> FittedKamino:
         """Run the budget-consuming phases on the private ``table``.
 
         Sequencing (Algorithm 4), parameter search (Algorithm 6), model
@@ -645,81 +684,164 @@ class Kamino:
         four phases are timed under the canonical names ``sequencing``,
         ``params``, ``dp_sgd``, ``weights``.  Tracing never touches the
         pipeline rng, so a traced fit equals an untraced one.
+
+        ``checkpoint_dir`` makes the fit crash-safe: after each phase an
+        atomic, digest-verified checkpoint is written there (see
+        :mod:`repro.core.checkpoint`), and a later ``fit`` over the same
+        table/config resumes from the newest valid one instead of
+        re-running — and re-*spending* — the completed phases.  The
+        resumed fit restores the pipeline rng state, so its model, its
+        draws, and its ``sampling_state`` are bit-identical to an
+        uninterrupted fit; the returned artifact's ``ledger`` marks the
+        restored phases' spends as ``resumed``.  Checkpoints carry
+        DP-protected model state — guard the directory like the model
+        artifact itself — and are cleared when the fit completes.
         """
+        from repro.synth.ledger import BudgetLedger
+
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        timings: dict[str, float] = {}
+        known_weights = weights
+        ledger = BudgetLedger()
+
+        ckpt = None
+        restored = None
+        if checkpoint_dir is not None:
+            from repro.core.checkpoint import FitCheckpoint, fit_key
+            ckpt = FitCheckpoint(checkpoint_dir,
+                                 fit_key(cfg, table, known_weights))
+            restored = ckpt.load_latest(self.relation)
+        from repro.core.checkpoint import STAGES
+        timings: dict[str, float] = dict(restored.timings) if restored \
+            else {}
+        if restored is not None:
+            # Phases still to run consume the generator from exactly
+            # where the interrupted fit left it — this is what makes the
+            # resumed fit bit-identical to an uninterrupted one.
+            rng.bit_generator.state = restored.rng_state
+
+        def _done(stage: str) -> bool:
+            return (restored is not None
+                    and STAGES.index(restored.stage) >= STAGES.index(stage))
 
         def _phase(name: str):
             return trace.phase(name) if trace is not None else nullcontext()
 
+        def _after_stage(stage: str, **state) -> None:
+            """Checkpoint a freshly executed stage (skipped for restored
+            ones — their checkpoint already exists and re-writing would
+            reseal identical state for no benefit)."""
+            if _done(stage):
+                return
+            if ckpt is not None:
+                ckpt.save(stage, rng_state=rng.bit_generator.state,
+                          timings=timings, **state)
+            fault_point(f"fit.{stage}")
+
         # -- Sequencing (Algorithm 4) + structure ----------------------
-        start = time.perf_counter()
-        with _phase("sequencing"):
-            if cfg.random_sequence:
-                sequence = list(self.relation.names)
-                np.random.default_rng(cfg.seed + 17).shuffle(sequence)
-            else:
-                sequence = sequence_attributes(self.relation, self.dcs)
-            independent = self._independent_attrs(sequence)
-            hyper = self._build_hyper(sequence, independent)
-        timings["Seq."] = time.perf_counter() - start
+        if _done("sequencing"):
+            sequence = restored.sequence
+            independent = restored.independent
+            hyper = HyperSpec(self.relation, restored.hyper_groups)
+        else:
+            start = time.perf_counter()
+            with _phase("sequencing"):
+                if cfg.random_sequence:
+                    sequence = list(self.relation.names)
+                    np.random.default_rng(cfg.seed + 17).shuffle(sequence)
+                else:
+                    sequence = sequence_attributes(self.relation, self.dcs)
+                independent = self._independent_attrs(sequence)
+                hyper = self._build_hyper(sequence, independent)
+            timings["Seq."] = time.perf_counter() - start
+        _after_stage("sequencing", sequence=sequence,
+                     independent=independent, hyper=hyper)
 
         # -- Parameter search (Algorithm 6) ----------------------------
-        with _phase("params"):
-            learn_weights = weights is None and any(
-                not dc.hard for dc in self.dcs)
-            n_hist = 1 + len(independent)
-            n_submodels = max(
-                len(hyper.working_sequence) - 1 - len(independent), 0)
-            if self.private:
-                params = search_dp_params(
-                    cfg.epsilon, cfg.delta, hyper.working_relation,
-                    hyper.working_sequence, table.n,
-                    learn_weights=learn_weights, n_hist=n_hist,
-                    n_submodels=n_submodels)
-            else:
-                params = KaminoParams(
-                    epsilon=math.inf, delta=cfg.delta, n=table.n,
-                    k=len(hyper.working_sequence),
-                    iterations=max(1, (2 * table.n) // 32),
-                    learn_weights=learn_weights, n_hist=n_hist,
-                    n_submodels=n_submodels)
-            if cfg.params_override is not None:
-                cfg.params_override(params)
+        if _done("params"):
+            params = restored.params
+        else:
+            with _phase("params"):
+                learn_weights = known_weights is None and any(
+                    not dc.hard for dc in self.dcs)
+                n_hist = 1 + len(independent)
+                n_submodels = max(
+                    len(hyper.working_sequence) - 1 - len(independent), 0)
                 if self.private:
-                    achieved, alpha = params.accounted_epsilon()
-                    if achieved > cfg.epsilon * (1 + 1e-9):
-                        raise ValueError(
-                            f"params_override broke the budget: "
-                            f"{achieved:.4f} > {cfg.epsilon}")
-                    params.achieved_epsilon = achieved
-                    params.best_alpha = alpha
+                    params = search_dp_params(
+                        cfg.epsilon, cfg.delta, hyper.working_relation,
+                        hyper.working_sequence, table.n,
+                        learn_weights=learn_weights, n_hist=n_hist,
+                        n_submodels=n_submodels)
+                else:
+                    params = KaminoParams(
+                        epsilon=math.inf, delta=cfg.delta, n=table.n,
+                        k=len(hyper.working_sequence),
+                        iterations=max(1, (2 * table.n) // 32),
+                        learn_weights=learn_weights, n_hist=n_hist,
+                        n_submodels=n_submodels)
+                if cfg.params_override is not None:
+                    cfg.params_override(params)
+                    if self.private:
+                        achieved, alpha = params.accounted_epsilon()
+                        if achieved > cfg.epsilon * (1 + 1e-9):
+                            raise ValueError(
+                                f"params_override broke the budget: "
+                                f"{achieved:.4f} > {cfg.epsilon}")
+                        params.achieved_epsilon = achieved
+                        params.best_alpha = alpha
+        _after_stage("params", sequence=sequence, independent=independent,
+                     hyper=hyper, params=params)
+
+        eps_train, eps_weights = (_phase_epsilons(params) if self.private
+                                  else (0.0, 0.0))
 
         # -- Model training (Algorithm 2) ------------------------------
-        start = time.perf_counter()
-        with _phase("dp_sgd"):
-            working = hyper.encode_table(table)
-            model = train_model(
-                working, hyper.working_relation, hyper.working_sequence,
-                params, rng, independent_attrs=independent,
-                parallel=cfg.parallel_training, private=self.private)
-        timings["Tra."] = time.perf_counter() - start
+        if _done("dp_sgd"):
+            model = restored.model
+        else:
+            start = time.perf_counter()
+            with _phase("dp_sgd"):
+                working = hyper.encode_table(table)
+                model = train_model(
+                    working, hyper.working_relation, hyper.working_sequence,
+                    params, rng, independent_attrs=independent,
+                    parallel=cfg.parallel_training, private=self.private)
+            timings["Tra."] = time.perf_counter() - start
+        if self.private:
+            ledger.spend("rdp:m1-histograms+m2-dp-sgd", eps_train,
+                         cfg.delta, resumed=_done("dp_sgd"))
+        _after_stage("dp_sgd", sequence=sequence, independent=independent,
+                     hyper=hyper, params=params, model=model)
 
         # -- DC weights (Algorithm 5) -----------------------------------
-        start = time.perf_counter()
-        with _phase("weights"):
-            if weights is None:
-                weights = learn_dc_weights(table, self.dcs, sequence,
-                                           params, rng,
-                                           private=self.private,
-                                           estimator=cfg.weight_estimator)
-            else:
-                weights = dict(weights)
-                for dc in self.dcs:
-                    weights.setdefault(dc.name, math.inf if dc.hard
-                                       else params.weight_init)
-        timings["DC.W."] = time.perf_counter() - start
+        if _done("weights") and restored.weights is not None:
+            weights = restored.weights
+        else:
+            start = time.perf_counter()
+            with _phase("weights"):
+                if known_weights is None:
+                    weights = learn_dc_weights(table, self.dcs, sequence,
+                                               params, rng,
+                                               private=self.private,
+                                               estimator=cfg.weight_estimator)
+                else:
+                    weights = dict(known_weights)
+                    for dc in self.dcs:
+                        weights.setdefault(dc.name, math.inf if dc.hard
+                                           else params.weight_init)
+            timings["DC.W."] = time.perf_counter() - start
+        if self.private and params.learn_weights:
+            ledger.spend("rdp:m3-dc-weights", eps_weights,
+                         resumed=_done("weights"))
+        _after_stage("weights", sequence=sequence, independent=independent,
+                     hyper=hyper, params=params, model=model,
+                     weights=weights)
+
+        if ckpt is not None:
+            # The fitted artifact supersedes the checkpoints; clearing
+            # keeps the directory from resuming a *completed* fit.
+            ckpt.clear()
 
         from repro.core.engine import ENGINE_RNG_SPEC
         return FittedKamino(
@@ -728,7 +850,8 @@ class Kamino:
             params=params, weights=weights, model=model,
             default_n=table.n, fit_timings=timings,
             sampling_state=rng.bit_generator.state,
-            rng_spec=dict(ENGINE_RNG_SPEC))
+            rng_spec=dict(ENGINE_RNG_SPEC), ledger=ledger,
+            resumed_from=restored.stage if restored is not None else None)
 
     def fit_sample(self, table: Table, n: int | None = None,
                    weights: dict[str, float] | None = None) -> KaminoResult:

@@ -40,6 +40,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import zipfile
 
 import numpy as np
 
@@ -47,10 +49,47 @@ from repro.aimnet import AimNet, EmbeddingStore
 from repro.core.hyper import HyperSpec
 from repro.core.params import KaminoParams
 from repro.core.training import HistogramModel, ProbModel
+from repro.faults import fault_point
 from repro.schema.quantize import Quantizer
 
 FORMAT_TAG = "repro.model/2"
 _V1_FORMAT_TAG = "repro.model/1"
+
+
+class ModelFormatError(ValueError):
+    """A model artifact that cannot be read: names the file and the
+    section that failed so a corrupt or truncated save is a one-line
+    diagnosis instead of a raw numpy/zipfile traceback."""
+
+    def __init__(self, path: str, section: str, detail: str):
+        self.path = str(path)
+        self.section = section
+        self.detail = detail
+        super().__init__(f"{path}: unreadable model artifact "
+                         f"({section}): {detail}")
+
+
+def atomic_savez(path: str, arrays: dict) -> None:
+    """``np.savez`` through a same-directory tmp file + ``os.replace``.
+
+    A crash (or injected fault) mid-save leaves the previous artifact —
+    if any — untouched; the final path is either the old complete file
+    or the new complete file, never a truncation.  The tmp file is
+    opened explicitly so numpy cannot append ``.npz`` to suffix-less
+    destinations.
+    """
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **arrays)
+        fault_point("model_io.save")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 #: KaminoParams fields the sampler reads; everything else is training
 #: state that has already been consumed.
@@ -154,7 +193,7 @@ def save_model(path: str, model: ProbModel, weights: dict,
     """
     meta, arrays = _base_meta(model, weights, params, hyper)
     arrays["meta.json"] = np.array(json.dumps(meta))
-    np.savez(path, **arrays)
+    atomic_savez(path, arrays)
 
 
 def save_fitted(path: str, fitted) -> None:
@@ -182,19 +221,43 @@ def save_fitted(path: str, fitted) -> None:
         "rng_spec": fitted.rng_spec,
     }
     arrays["meta.json"] = np.array(json.dumps(meta))
-    np.savez(path, **arrays)
+    atomic_savez(path, arrays)
 
 
 # ----------------------------------------------------------------------
 # Loading
 # ----------------------------------------------------------------------
 def _read_npz(path: str) -> tuple[dict, dict]:
-    with np.load(path, allow_pickle=False) as data:
-        meta = json.loads(str(data["meta.json"]))
-        if meta.get("format") not in (FORMAT_TAG, _V1_FORMAT_TAG):
-            raise ValueError(
-                f"unsupported model format {meta.get('format')!r}")
-        arrays = {key: data[key] for key in data.files}
+    fault_point("model_io.read")
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            try:
+                raw_meta = data["meta.json"]
+            except KeyError:
+                raise ModelFormatError(
+                    path, "metadata", "missing meta.json member") from None
+            try:
+                meta = json.loads(str(raw_meta))
+            except json.JSONDecodeError as exc:
+                raise ModelFormatError(path, "metadata",
+                                       f"bad JSON: {exc}") from exc
+            if meta.get("format") not in (FORMAT_TAG, _V1_FORMAT_TAG):
+                raise ModelFormatError(
+                    path, "metadata",
+                    f"unsupported model format {meta.get('format')!r}")
+            try:
+                arrays = {key: data[key] for key in data.files}
+            except (ValueError, OSError, zipfile.BadZipFile) as exc:
+                raise ModelFormatError(path, "parameter arrays",
+                                       str(exc)) from exc
+    except ModelFormatError:
+        raise
+    except (OSError, zipfile.BadZipFile, ValueError, EOFError) as exc:
+        # np.load raises OSError/ValueError on truncated or non-zip
+        # bytes; FileNotFoundError stays a plain missing-file error.
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise ModelFormatError(path, "container", str(exc)) from exc
     return meta, arrays
 
 
@@ -274,7 +337,11 @@ def load_model(path: str, relation
     sampler needs.
     """
     meta, arrays = _read_npz(path)
-    model, _ = _rebuild_model(meta, arrays, relation)
+    try:
+        model, _ = _rebuild_model(meta, arrays, relation)
+    except KeyError as exc:
+        raise ModelFormatError(path, "parameter arrays",
+                               f"missing member {exc}") from exc
     weights = _decode_weights(meta["weights"])
     return model, weights, _rebuild_params(meta)
 
@@ -290,7 +357,11 @@ def load_fitted(path: str, relation) -> dict:
         raise ValueError(
             f"{path} holds a bare model (save_model), not a fitted "
             f"pipeline artifact; load it with load_model() instead")
-    model, hyper = _rebuild_model(meta, arrays, relation)
+    try:
+        model, hyper = _rebuild_model(meta, arrays, relation)
+    except KeyError as exc:
+        raise ModelFormatError(path, "parameter arrays",
+                               f"missing member {exc}") from exc
     if hyper is None:
         hyper = HyperSpec.trivial(relation, fitted_meta["sequence"])
     config_meta = dict(fitted_meta["config"])

@@ -23,6 +23,8 @@ import os
 
 import numpy as np
 
+from repro.faults import fault_point
+
 #: File suffix -> stream format; suffixes outside this map are not
 #: streamable table files (the CLI treats them as bundle directories).
 STREAM_SUFFIXES = {
@@ -144,11 +146,35 @@ def open_stream_writer(path: str, relation, fmt: str | None = None):
 def write_table_stream(path: str, relation, chunks,
                        fmt: str | None = None) -> int:
     """Drain ``chunks`` (an iterable of Tables) into ``path``; returns
-    the total row count.  Peak memory holds one chunk."""
-    writer = open_stream_writer(path, relation, fmt)
+    the total row count.  Peak memory holds one chunk.
+
+    The stream lands in a same-directory tmp file and is renamed onto
+    ``path`` only after every chunk is written and the writer closed:
+    a draw that dies mid-stream — worker crash, ENOSPC, the process
+    killed outright — never leaves a truncated csv/parquet at the
+    destination.  The format is resolved from ``path`` (the tmp suffix
+    plays no part), and the tmp file is removed on any in-process
+    failure.
+    """
+    fmt = fmt or stream_format_for(path)
+    if fmt is None:
+        raise ValueError(
+            f"cannot infer a stream format from {path!r}; expected a "
+            f"suffix in {sorted(STREAM_SUFFIXES)}")
+    tmp = f"{path}.tmp-{os.getpid()}"
     try:
-        for chunk in chunks:
-            writer.write(chunk)
-    finally:
-        writer.close()
+        writer = open_stream_writer(tmp, relation, fmt)
+        try:
+            for chunk in chunks:
+                fault_point("stream.write")
+                writer.write(chunk)
+        finally:
+            writer.close()
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
     return writer.rows

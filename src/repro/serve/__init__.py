@@ -32,6 +32,7 @@ from repro.serve.registry import (
     LoadedModel,
     ModelRecord,
     ModelRegistry,
+    QuarantinedModelError,
     UnknownModelError,
     content_version,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "LoadedModel",
     "ModelRecord",
     "ModelRegistry",
+    "QuarantinedModelError",
     "QueueFullError",
     "ServeClient",
     "ServeConfig",

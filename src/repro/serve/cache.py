@@ -25,6 +25,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.faults import fault_point
+
 #: Default size bound: 256 MiB of cached response bodies.
 DEFAULT_MAX_BYTES = 256 << 20
 
@@ -77,6 +79,9 @@ class DrawCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Entries dropped at rebuild because their bytes no longer
+        #: hash to their recorded ETag (truncated/corrupted on disk).
+        self.corrupt_dropped = 0
         self._scan()
 
     # -- lookup ---------------------------------------------------------
@@ -115,6 +120,7 @@ class DrawCache:
         ``max_bytes``.  A concurrent identical ``put`` (same key ⇒ same
         bytes, by determinism) simply replaces the file.
         """
+        fault_point("cache.put")
         etag = body_etag(tmp_path)
         nbytes = os.path.getsize(tmp_path)
         path = os.path.join(self.cache_dir, key)
@@ -155,7 +161,13 @@ class DrawCache:
         # is already rendered); it just evicts everything else.
 
     def _scan(self) -> None:
-        """Rebuild the index from disk, oldest served (mtime) first."""
+        """Rebuild the index from disk, oldest served (mtime) first.
+
+        Every candidate body is re-hashed against the ETag its sidecar
+        recorded; a mismatch (truncated write, bit rot, a partial copy)
+        deletes the entry and bumps ``corrupt_dropped`` instead of ever
+        serving corrupted bytes with a strong validator.
+        """
         entries = []
         for name in os.listdir(self.cache_dir):
             if name.endswith(_META_SUFFIX) or name.startswith("."):
@@ -167,10 +179,20 @@ class DrawCache:
             try:
                 with open(meta_path) as f:
                     meta = json.load(f)
-            except (OSError, ValueError):
+                recorded = meta["etag"]
+                actual = body_etag(path)
+            except (OSError, ValueError, KeyError):
+                continue
+            if actual != recorded:
+                self.corrupt_dropped += 1
+                for stale in (path, meta_path):
+                    try:
+                        os.unlink(stale)
+                    except OSError:
+                        pass
                 continue
             entries.append((os.path.getmtime(path), CachedDraw(
-                key=name, path=path, etag=meta["etag"],
+                key=name, path=path, etag=recorded,
                 nbytes=os.path.getsize(path),
                 content_type=meta.get("content_type",
                                       "application/octet-stream"))))
@@ -192,5 +214,6 @@ class DrawCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "corrupt_dropped": self.corrupt_dropped,
                 "hit_rate": round(self.hits / total, 4) if total else 0.0,
             }

@@ -16,10 +16,16 @@ guarantee, it just shapes requests and responses::
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
 from dataclasses import dataclass
+
+#: Statuses worth retrying: explicit backpressure answers.  4xx/5xx
+#: outside this set are deterministic (bad request, quarantined
+#: artifact, missing backend) — retrying them only repeats the answer.
+RETRY_STATUSES = frozenset({429, 503})
 
 
 @dataclass
@@ -44,11 +50,37 @@ class ServeResponse:
 
 
 class ServeClient:
-    """Requests against one running ``repro-kamino serve`` instance."""
+    """Requests against one running ``repro-kamino serve`` instance.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    GETs retry on backpressure (429/503, honoring ``Retry-After``) and
+    transient transport failures (connection refused/reset) with capped
+    exponential backoff: ``retries`` extra attempts, waiting
+    ``min(backoff * 2**attempt, backoff_cap)`` seconds — or the
+    server's ``Retry-After``, whichever the server asked for.  POSTs
+    never retry.  When attempts run out the last HTTP response is
+    returned (or the last transport error raised), so callers still
+    see exactly what the server said.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 retries: int = 0, backoff: float = 0.1,
+                 backoff_cap: float = 5.0, sleep=time.sleep):
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.backoff_cap = float(backoff_cap)
+        self._sleep = sleep  # injectable for tests
+
+    def _retry_delay(self, attempt: int, retry_after=None) -> float:
+        if retry_after is not None:
+            try:
+                return max(float(retry_after), 0.0)
+            except ValueError:
+                pass
+        return min(self.backoff * (2 ** attempt), self.backoff_cap)
 
     # -- endpoints ------------------------------------------------------
     def healthz(self) -> dict:
@@ -104,6 +136,29 @@ class ServeClient:
     def _request(self, method: str, path: str, body: bytes | None = None,
                  content_type: str | None = None,
                  headers: dict | None = None) -> ServeResponse:
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        response = None
+        for attempt in range(attempts):
+            try:
+                response = self._request_once(method, path, body,
+                                              content_type, headers)
+            except (urllib.error.URLError, ConnectionError, OSError):
+                # Transport failure (refused, reset, mid-read EOF).
+                if attempt + 1 >= attempts:
+                    raise
+                self._sleep(self._retry_delay(attempt))
+                continue
+            if (response.status not in RETRY_STATUSES
+                    or attempt + 1 >= attempts):
+                return response
+            self._sleep(self._retry_delay(
+                attempt, response.headers.get("Retry-After")))
+        return response
+
+    def _request_once(self, method: str, path: str,
+                      body: bytes | None = None,
+                      content_type: str | None = None,
+                      headers: dict | None = None) -> ServeResponse:
         request = urllib.request.Request(self.base_url + path, data=body,
                                          method=method)
         if content_type:

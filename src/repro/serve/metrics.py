@@ -35,11 +35,20 @@ class ServeMetrics:
         #: model:version -> {draws, rows, seconds}
         self.draws: dict[str, dict] = OrderedDict()
         self.recent: deque = deque(maxlen=RECENT_DRAWS)
+        #: Named robustness events: ``quarantine_rejects``,
+        #: ``degraded_streams``, ``render_deadline_exceeded``, …
+        self.events: dict[str, int] = OrderedDict()
 
     def observe_request(self, model: str | None, status: int) -> None:
         key = (model or "-", str(status))
         with self._lock:
             self.requests[key] = self.requests.get(key, 0) + 1
+
+    def observe_event(self, name: str, inc: int = 1) -> None:
+        """Count one robustness event (quarantine hit, degraded
+        stream, deadline trip)."""
+        with self._lock:
+            self.events[name] = self.events.get(name, 0) + inc
 
     def observe_draw(self, model_key: str, rows: int, seconds: float,
                      trace=None) -> None:
@@ -68,6 +77,7 @@ class ServeMetrics:
                 "draws": draws,
                 "cache": dict(cache_stats),
                 "queue": dict(queue_stats),
+                "events": dict(self.events),
                 "models_loaded": loaded_models,
                 "recent_traces": list(self.recent),
             }
@@ -104,11 +114,17 @@ class ServeMetrics:
             f"kamino_serve_cache_misses_total {cache.get('misses', 0)}",
             f"kamino_serve_cache_evictions_total "
             f"{cache.get('evictions', 0)}",
+            f"kamino_serve_cache_corrupt_dropped_total "
+            f"{cache.get('corrupt_dropped', 0)}",
             "# TYPE kamino_serve_cache_hit_rate gauge",
             f"kamino_serve_cache_hit_rate {cache.get('hit_rate', 0.0)}",
             f"kamino_serve_cache_bytes {cache.get('bytes', 0)}",
             f"kamino_serve_cache_entries {cache.get('entries', 0)}",
         ]
+        lines.append("# TYPE kamino_serve_events_total counter")
+        for name, count in snap["events"].items():
+            lines.append(
+                f'kamino_serve_events_total{{event="{name}"}} {count}')
         queue = snap["queue"]
         lines += [
             "# TYPE kamino_serve_queue_depth gauge",

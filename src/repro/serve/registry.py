@@ -34,6 +34,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.faults import fault_point
 from repro.io.dc_text import load_dcs
 from repro.io.schema_json import load_relation
 from repro.synth import load_fitted, peek_method, resolve_backend
@@ -51,6 +52,24 @@ VERSION_DIGEST_CHARS = 12
 
 class UnknownModelError(KeyError):
     """No registered model matches the requested (name, version)."""
+
+
+class QuarantinedModelError(RuntimeError):
+    """The artifact failed digest or load verification.
+
+    Raised on every request for the (name, version) after the failing
+    load, so clients get one clear error instead of the server
+    re-reading broken bytes (or worse, a raw traceback) per request.
+    Re-registering a good artifact produces a new content-digest
+    version, which is not quarantined.
+    """
+
+    def __init__(self, name: str, version: str, reason: str):
+        self.name = name
+        self.version = version
+        self.reason = reason
+        super().__init__(
+            f"model {name}:{version} is quarantined: {reason}")
 
 
 def content_version(path: str) -> str:
@@ -129,6 +148,9 @@ class ModelRegistry:
         #: Completed artifact loads per (name, version) — the registry
         #: concurrency tests pin "parallel cold requests load once".
         self.load_counts: dict[tuple[str, str], int] = {}
+        #: (name, version) -> reason for every artifact that failed
+        #: digest/load verification; requests for them fail fast.
+        self.quarantined: dict[tuple[str, str], str] = {}
 
     # -- registration ---------------------------------------------------
     def register(self, name: str, model_path: str, schema_path: str,
@@ -213,8 +235,10 @@ class ModelRegistry:
         out = []
         with self._lock:
             hot = set(self._hot)
+            quarantined = dict(self.quarantined)
         for name in self.model_names():
             for record in self.versions(name):
+                key = (record.name, record.version)
                 out.append({
                     "name": record.name,
                     "version": record.version,
@@ -222,7 +246,8 @@ class ModelRegistry:
                     "bytes": record.nbytes,
                     "supports_native_stream":
                         record.supports_native_stream(),
-                    "loaded": (record.name, record.version) in hot,
+                    "loaded": key in hot,
+                    "quarantined": quarantined.get(key),
                 })
         return out
 
@@ -233,10 +258,20 @@ class ModelRegistry:
         Single-flight per (name, version): under concurrent cold
         requests exactly one thread runs the load, the rest block on it
         and share the result.
+
+        The artifact's bytes are verified against its content-digest
+        version before loading; a digest mismatch or a failing load
+        quarantines the (name, version) — this and every later request
+        raise :class:`QuarantinedModelError` without re-reading the
+        broken file.
         """
         record = self.resolve(name, version)
         key = (record.name, record.version)
         with self._lock:
+            reason = self.quarantined.get(key)
+            if reason is not None:
+                raise QuarantinedModelError(record.name, record.version,
+                                            reason)
             hit = self._hot.get(key)
             if hit is not None:
                 self._hot.move_to_end(key)
@@ -244,11 +279,29 @@ class ModelRegistry:
             load_lock = self._load_locks.setdefault(key, threading.Lock())
         with load_lock:
             with self._lock:
+                reason = self.quarantined.get(key)
+                if reason is not None:
+                    raise QuarantinedModelError(record.name,
+                                                record.version, reason)
                 hit = self._hot.get(key)
                 if hit is not None:
                     self._hot.move_to_end(key)
                     return hit
-            loaded = LoadedModel(record, *self._load(record))
+            try:
+                fault_point("registry.load")
+                self._verify(record)
+                loaded = LoadedModel(record, *self._load(record))
+            except BackendUnavailable:
+                # An environment gap (missing optional dependency), not
+                # a broken artifact: don't quarantine, let the server
+                # answer 501 as before.
+                raise
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                with self._lock:
+                    self.quarantined[key] = reason
+                raise QuarantinedModelError(record.name, record.version,
+                                            reason) from exc
             with self._lock:
                 self._hot[key] = loaded
                 self._hot.move_to_end(key)
@@ -273,6 +326,15 @@ class ModelRegistry:
             for key in keys:
                 del self._hot[key]
             return bool(keys)
+
+    def _verify(self, record: ModelRecord) -> None:
+        """Check the artifact's bytes still hash to its version id."""
+        actual = content_version(record.path)
+        if actual != record.version:
+            raise ValueError(
+                f"artifact bytes hash to {actual!r} but the registered "
+                f"content-digest version is {record.version!r} "
+                f"(on-disk corruption or tampering)")
 
     def _load(self, record: ModelRecord):
         if not os.path.exists(record.schema_path):

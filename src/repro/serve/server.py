@@ -30,20 +30,28 @@ revalidate by ETag without touching the engine.  Renders thread a
 
 from __future__ import annotations
 
+import csv
+import errno
+import io
 import json
 import os
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
-from repro.io.stream import STREAM_SUFFIXES, write_table_stream
+from repro.faults import FaultInjected
+from repro.io.stream import (
+    STREAM_SUFFIXES, decode_columns, write_table_stream,
+)
 from repro.obs import RunTrace
 from repro.serve.cache import DEFAULT_MAX_BYTES, DrawCache, draw_key
 from repro.serve.metrics import ServeMetrics
 from repro.serve.queue import (
     DrawExecutor, DrawTimeoutError, QueueFullError,
 )
-from repro.serve.registry import ModelRegistry, UnknownModelError
+from repro.serve.registry import (
+    ModelRegistry, QuarantinedModelError, UnknownModelError,
+)
 from repro.synth.protocol import sliced_chunks
 from repro.synth.registry import BackendUnavailable
 
@@ -122,7 +130,9 @@ class KaminoServer(ThreadingHTTPServer):
         tmp = self.draw_cache.begin(draw_key(record.version, n, seed, fmt))
         start = time.perf_counter()
         try:
-            chunks = self._draw_chunks(loaded, n, seed, trace)
+            chunks = self._deadline_chunks(
+                self._draw_chunks(loaded, n, seed, trace), start,
+                f"{record.name}:{record.version}")
             rows = write_table_stream(tmp, loaded.relation, chunks,
                                       fmt=fmt)
         except BaseException:
@@ -161,6 +171,23 @@ class KaminoServer(ThreadingHTTPServer):
                                     chunk_rows=cfg.chunk_rows,
                                     trace=trace)
 
+    def _deadline_chunks(self, chunks, started: float, label: str):
+        """Bound one render by the request timeout.
+
+        The executor bounds how long a request *waits*; this bounds how
+        long a render *runs* — checked between chunks, so a runaway
+        draw stops within one chunk of the deadline instead of holding
+        the per-model lock (and a worker thread) indefinitely.
+        """
+        budget = self.config.timeout
+        for chunk in chunks:
+            if time.perf_counter() - started > budget:
+                self.metrics.observe_event("render_deadline_exceeded")
+                raise DrawTimeoutError(
+                    f"render of {label} exceeded the {budget:g}s "
+                    f"request deadline")
+            yield chunk
+
 
 class _Handler(BaseHTTPRequestHandler):
     server: KaminoServer
@@ -183,6 +210,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error(404, f"no route {url.path!r}")
         except BrokenPipeError:  # client went away mid-response
             pass
+        except Exception as exc:
+            self._last_resort_500(exc)
 
     def do_POST(self):
         url = urlsplit(self.path)
@@ -193,6 +222,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error(404, f"no route {url.path!r}")
         except BrokenPipeError:
             pass
+        except Exception as exc:
+            self._last_resort_500(exc)
 
     # -- endpoints ------------------------------------------------------
     def _healthz(self):
@@ -280,13 +311,39 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_error(503, str(exc), model=model,
                                  retry_after=5)
                 return
+            except QuarantinedModelError as exc:
+                # The artifact failed digest/load verification and is
+                # fenced off — a clean 503 naming the reason, never a
+                # traceback.  Other versions of the model still serve.
+                server.metrics.observe_event("quarantine_rejects")
+                self._send_error(503, str(exc), model=model)
+                return
             except BackendUnavailable as exc:
                 self._send_error(501, str(exc), model=model)
+                return
+            except FaultInjected as exc:
+                self._send_error(500, f"injected fault: {exc}",
+                                 model=model)
+                return
+            except OSError as exc:
+                if exc.errno == errno.ENOSPC:
+                    # Cache disk is full: serve the draw anyway, just
+                    # without caching it.
+                    self._sample_degraded(record, n, seed, fmt, model)
+                    return
+                self._send_error(500, f"{type(exc).__name__}: {exc}",
+                                 model=model)
                 return
             except RuntimeError as exc:
                 # e.g. a columnar format without pyarrow installed, or
                 # a stream path the engine declines (PrefixScanRequired)
                 self._send_error(501, str(exc), model=model)
+                return
+            except Exception as exc:
+                # Anything else: a clean JSON 500 instead of a dropped
+                # connection and a handler traceback.
+                self._send_error(500, f"{type(exc).__name__}: {exc}",
+                                 model=model)
                 return
         if_none_match = self.headers.get("If-None-Match")
         if if_none_match and _etag_matches(if_none_match, entry.etag):
@@ -311,6 +368,53 @@ class _Handler(BaseHTTPRequestHandler):
             for block in iter(lambda: f.read(_SEND_CHUNK), b""):
                 self.wfile.write(block)
 
+    def _sample_degraded(self, record, n, seed, fmt, model):
+        """Serve a draw with the cache disk full: stream it uncached.
+
+        CSV can be rendered chunk-by-chunk straight onto the socket
+        (chunked transfer encoding, ``X-Cache: bypass``, no ETag — the
+        response is correct but not revalidatable).  The columnar
+        formats need a seekable file, which is exactly what we don't
+        have, so they get a 503 asking the client to retry as CSV.
+        """
+        server = self.server
+        if fmt != "csv":
+            self._send_error(
+                503, f"draw cache is out of disk space and {fmt!r} "
+                     f"cannot be streamed uncached; retry with "
+                     f"format=csv or free space", model=model,
+                retry_after=30)
+            return
+        try:
+            loaded = server.registry.get(record.name, record.version)
+            chunks = server._draw_chunks(loaded, n, seed, None)
+        except Exception as exc:
+            self._send_error(500, f"{type(exc).__name__}: {exc}",
+                             model=model)
+            return
+        server.metrics.observe_event("degraded_streams")
+        server.metrics.observe_request(model, 200)
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPES["csv"])
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Cache", "bypass")
+        self.send_header("X-Model-Version", record.version)
+        self.end_headers()
+        try:
+            for payload in _csv_payloads(loaded.relation, chunks):
+                if not payload:
+                    continue
+                self.wfile.write(f"{len(payload):x}\r\n".encode())
+                self.wfile.write(payload)
+                self.wfile.write(b"\r\n")
+            self.wfile.write(b"0\r\n\r\n")
+        except BrokenPipeError:
+            raise
+        except Exception:
+            # Headers are gone; the only honest signal left is a
+            # truncated chunked body, which clients reject.
+            self.close_connection = True
+
     # -- plumbing -------------------------------------------------------
     def _read_json(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -333,6 +437,18 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _last_resort_500(self, exc: BaseException):
+        """A clean JSON 500 for anything a route let escape.
+
+        If the response already started (headers sent, body partially
+        written) this may append bytes a client discards — still better
+        than an unhandled-exception traceback and a hard reset.
+        """
+        try:
+            self._send_error(500, f"{type(exc).__name__}: {exc}")
+        except Exception:
+            self.close_connection = True
+
     def _send_error(self, status: int, message: str,
                     model: str | None = None,
                     retry_after: int | None = None):
@@ -349,6 +465,20 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, fmt, *args):  # silenced by config.quiet
         if not self.server.config.quiet:
             super().log_message(fmt, *args)
+
+
+def _csv_payloads(relation, chunks):
+    """CSV bytes of a streamed draw, one payload per table chunk (plus
+    a leading header payload) — the degraded, cache-bypassing render."""
+    buf = io.StringIO()
+    csv.writer(buf).writerow(relation.names)
+    yield buf.getvalue().encode()
+    for table in chunks:
+        buf = io.StringIO()
+        decoded = decode_columns(table)
+        columns = [decoded[name].tolist() for name in relation.names]
+        csv.writer(buf).writerows(zip(*columns))
+        yield buf.getvalue().encode()
 
 
 def _int_or_none(raw: str | None, name: str) -> int | None:

@@ -20,6 +20,8 @@ import zipfile
 
 import numpy as np
 
+from repro.core.model_io import ModelFormatError, atomic_savez
+
 #: Format tag of the synth payload manifest.
 FORMAT_TAG = "repro.synth/1"
 
@@ -69,21 +71,40 @@ def save_payload(path: str, method: str, state: dict) -> None:
         "state": _encode(state, arrays),
     }
     arrays["manifest.json"] = np.array(json.dumps(manifest))
-    np.savez(path, **arrays)
+    atomic_savez(path, arrays)
 
 
 def load_payload(path: str) -> tuple[str, dict]:
-    """Read a synth payload; returns ``(method, state)``."""
-    with np.load(path, allow_pickle=False) as data:
+    """Read a synth payload; returns ``(method, state)``.
+
+    Corrupt or truncated files raise
+    :class:`~repro.core.model_io.ModelFormatError` naming the file and
+    the failing section.
+    """
+    try:
+        data = np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (OSError, zipfile.BadZipFile, ValueError, EOFError) as exc:
+        raise ModelFormatError(path, "container", str(exc)) from exc
+    with data:
         if "manifest.json" not in data.files:
             raise ValueError(
                 f"{path} is not a synth payload (no manifest.json); "
                 f"Kamino model files load via FittedKamino.load")
-        manifest = json.loads(str(data["manifest.json"]))
+        try:
+            manifest = json.loads(str(data["manifest.json"]))
+        except json.JSONDecodeError as exc:
+            raise ModelFormatError(path, "manifest",
+                                   f"bad JSON: {exc}") from exc
         if manifest.get("format") != FORMAT_TAG:
             raise ValueError(f"unsupported synth payload format "
                              f"{manifest.get('format')!r}")
-        return manifest["method"], _decode(manifest["state"], data)
+        try:
+            return manifest["method"], _decode(manifest["state"], data)
+        except (KeyError, zipfile.BadZipFile) as exc:
+            raise ModelFormatError(path, "state arrays",
+                                   str(exc)) from exc
 
 
 def is_synth_payload(path: str) -> bool:

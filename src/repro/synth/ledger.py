@@ -26,15 +26,24 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class Spend:
-    """One mechanism invocation's share of the fit budget."""
+    """One mechanism invocation's share of the fit budget.
+
+    ``resumed`` marks a spend that was *restored* from a fit checkpoint
+    rather than executed: the budget was consumed by an earlier
+    (interrupted) run and this fit re-used its output instead of
+    re-spending.  Totals still count it — the epsilon is gone either
+    way — but :meth:`BudgetLedger.fresh_epsilon` excludes it, which is
+    how the crash-safety tests verify a resumed fit never double-spends.
+    """
 
     mechanism: str
     epsilon: float
     delta: float = 0.0
+    resumed: bool = False
 
     def to_dict(self) -> dict:
         return {"mechanism": self.mechanism, "epsilon": self.epsilon,
-                "delta": self.delta}
+                "delta": self.delta, "resumed": self.resumed}
 
 
 class BudgetLedger:
@@ -55,15 +64,20 @@ class BudgetLedger:
         self.entries: list[Spend] = list(entries)
 
     def spend(self, mechanism: str, epsilon: float,
-              delta: float = 0.0) -> float:
-        """Record one spend; returns ``epsilon`` for assignment chaining."""
+              delta: float = 0.0, resumed: bool = False) -> float:
+        """Record one spend; returns ``epsilon`` for assignment chaining.
+
+        ``resumed=True`` records budget restored from a checkpoint (the
+        interrupted run already paid it) rather than newly consumed.
+        """
         epsilon = float(epsilon)
         delta = float(delta)
         if epsilon < 0 or delta < 0:
             raise ValueError(
                 f"spend({mechanism!r}) must be non-negative, got "
                 f"epsilon={epsilon}, delta={delta}")
-        self.entries.append(Spend(mechanism, epsilon, delta))
+        self.entries.append(Spend(mechanism, epsilon, delta,
+                                  resumed=bool(resumed)))
         return epsilon
 
     def extend(self, other: "BudgetLedger") -> None:
@@ -72,6 +86,12 @@ class BudgetLedger:
 
     def total_epsilon(self) -> float:
         return sum(entry.epsilon for entry in self.entries)
+
+    def fresh_epsilon(self) -> float:
+        """Epsilon consumed by *this* run — excludes checkpoint-restored
+        spends, whose budget an interrupted earlier run already paid."""
+        return sum(entry.epsilon for entry in self.entries
+                   if not entry.resumed)
 
     def total_delta(self) -> float:
         return sum(entry.delta for entry in self.entries)
@@ -82,7 +102,8 @@ class BudgetLedger:
         for entry in self.entries:
             lines.append(f"  {entry.mechanism}: epsilon={entry.epsilon:g}"
                          + (f", delta={entry.delta:g}" if entry.delta
-                            else ""))
+                            else "")
+                         + (" [resumed]" if entry.resumed else ""))
         lines.append(f"  TOTAL: epsilon={self.total_epsilon():g}, "
                      f"delta={self.total_delta():g}")
         return "\n".join(lines)
@@ -93,7 +114,8 @@ class BudgetLedger:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BudgetLedger":
-        return cls(Spend(raw["mechanism"], raw["epsilon"], raw["delta"])
+        return cls(Spend(raw["mechanism"], raw["epsilon"], raw["delta"],
+                         resumed=raw.get("resumed", False))
                    for raw in data["entries"])
 
     def __len__(self) -> int:

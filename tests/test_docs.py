@@ -82,6 +82,20 @@ def test_architecture_covers_current_system():
         assert needle in text, needle
 
 
+def test_robustness_doc_covers_failure_paths():
+    with open(os.path.join(ROOT, "docs", "ROBUSTNESS.md")) as f:
+        text = f.read()
+    for needle in ("checkpoint_dir", "REPRO_FAULTS", "quarantine",
+                   "ModelFormatError", "X-Cache: bypass", "resumed",
+                   "repro.ckpt/1", "Retry-After"):
+        assert needle in text, needle
+
+
+def test_readme_links_robustness_doc():
+    with open(os.path.join(ROOT, "README.md")) as f:
+        assert "docs/ROBUSTNESS.md" in f.read()
+
+
 def test_benchmarks_doc_covers_history_and_gate():
     with open(os.path.join(ROOT, "docs", "BENCHMARKS.md")) as f:
         text = f.read()

@@ -10,12 +10,17 @@ request hits the draw cache (visible in ``/metrics``), and
 ``If-None-Match`` revalidation returns 304.
 """
 
+import contextlib
+import os
+import socket
 import threading
 import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 import pytest
 
+import repro.faults as faults
 from repro.core.kamino import Kamino
 from repro.datasets import load
 from repro.io.dc_text import save_dcs
@@ -27,6 +32,7 @@ from repro.serve import (
     DrawTimeoutError,
     KaminoServer,
     ModelRegistry,
+    QuarantinedModelError,
     QueueFullError,
     ServeClient,
     ServeConfig,
@@ -535,6 +541,250 @@ def test_serve_register_requires_fields(client):
         body=b'{"name": "x", "model": "/no/such", "schema": "/no"}',
         content_type="application/json")
     assert resp.status == 400
+
+
+def test_cache_rebuild_drops_corrupted_entries(tmp_path):
+    """Disk rebuild re-hashes every body against its recorded ETag and
+    silently drops (and deletes) anything that no longer verifies."""
+    cache = DrawCache(str(tmp_path))
+    _put(cache, "good", b"intact payload")
+    bad = _put(cache, "bad", b"original payload")
+    with open(bad.path, "wb") as f:
+        f.write(b"truncat")  # torn write / bit rot
+    reopened = DrawCache(str(tmp_path))
+    assert reopened.peek("good") is not None
+    assert reopened.peek("bad") is None
+    assert not os.path.exists(bad.path)
+    assert reopened.stats()["corrupt_dropped"] == 1
+    assert reopened.total_bytes == len(b"intact payload")
+
+
+# ----------------------------------------------------------------------
+# Quarantine: broken artifacts are fenced, not 500s
+# ----------------------------------------------------------------------
+def test_registry_quarantines_corrupt_artifact(tmp_path, tpch):
+    registry = ModelRegistry(str(tmp_path))
+    record = registry.register("m", tpch["model"], tpch["schema"],
+                               dcs_path=tpch["dcs"])
+    with open(record.path, "r+b") as f:
+        f.write(b"\x00" * 64)  # clobber the stored bytes
+    with pytest.raises(QuarantinedModelError) as excinfo:
+        registry.get("m")
+    assert "digest" in str(excinfo.value)
+    assert excinfo.value.name == "m"
+    # Still quarantined on the next request — no repeated load attempts.
+    with pytest.raises(QuarantinedModelError):
+        registry.get("m")
+    assert registry.load_counts.get(("m", record.version), 0) == 0
+    (listed,) = registry.list_models()
+    assert listed["quarantined"]
+
+
+def test_registry_quarantines_load_failure(tmp_path, tpch):
+    registry = ModelRegistry(str(tmp_path))
+    registry.register("m", tpch["model"], tpch["schema"],
+                      dcs_path=tpch["dcs"])
+    with faults.injected("registry.load=error"):
+        with pytest.raises(QuarantinedModelError, match="FaultInjected"):
+            registry.get("m")
+
+
+@contextlib.contextmanager
+def _running_server(root, tpch, **cfg):
+    srv = KaminoServer(ServeConfig(str(root), port=0, quiet=True, **cfg))
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    client = ServeClient(srv.base_url)
+    client.register("tpch", tpch["model"], tpch["schema"],
+                    dcs=tpch["dcs"])
+    try:
+        yield srv, client
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def test_serve_quarantined_model_is_clean_503(tmp_path, tpch):
+    with _running_server(tmp_path / "models", tpch) as (srv, client):
+        record = srv.registry.resolve("tpch")
+        with open(record.path, "r+b") as f:
+            f.write(b"\x00" * 64)
+        resp = client.sample("tpch", n=10, seed=0)
+        assert resp.status == 503
+        assert b"quarantined" in resp.body
+        doc = client.metrics_json()
+        assert doc["events"]["quarantine_rejects"] >= 1
+        (listed,) = client.models()
+        assert listed["quarantined"]
+        text = client.metrics()
+        assert 'kamino_serve_events_total{event="quarantine_rejects"}' \
+            in text
+
+
+# ----------------------------------------------------------------------
+# ENOSPC: the draw cache fills up, draws keep serving
+# ----------------------------------------------------------------------
+def test_serve_enospc_degrades_to_uncached_stream(tmp_path, tpch):
+    with _running_server(tmp_path / "models", tpch) as (srv, client):
+        with faults.injected("cache.put=enospcx*"):
+            resp = client.sample("tpch", n=40, seed=3)
+        assert resp.status == 200
+        assert resp.cache_state == "bypass"
+        assert resp.etag is None  # uncached: no strong validator
+        direct = tmp_path / "direct.csv"
+        write_table_stream(str(direct), tpch["dataset"].relation,
+                           iter([tpch["fitted"].sample(n=40,
+                                                       seed=3).table]))
+        assert resp.body == direct.read_bytes()
+        assert client.metrics_json()["events"]["degraded_streams"] >= 1
+        # Cache healthy again: the same request renders and caches.
+        assert client.sample("tpch", n=40, seed=3).status == 200
+        assert client.sample("tpch", n=40, seed=3).cache_state == "hit"
+
+
+def test_serve_enospc_columnar_asks_for_csv(tmp_path, tpch):
+    with _running_server(tmp_path / "models", tpch) as (srv, client):
+        with faults.injected("cache.put=enospcx*"):
+            resp = client.sample("tpch", n=10, seed=0, fmt="parquet")
+        assert resp.status in (501, 503)  # 501 without pyarrow
+        if resp.status == 503:
+            assert b"csv" in resp.body
+            assert resp.headers.get("Retry-After")
+
+
+# ----------------------------------------------------------------------
+# Render deadline + clean 500s
+# ----------------------------------------------------------------------
+def test_serve_render_deadline_returns_503(tmp_path, tpch):
+    with _running_server(tmp_path / "models", tpch, timeout=0.2,
+                         chunk_rows=8) as (srv, client):
+        with faults.injected("stream.write=sleep:0.35x*"):
+            resp = client.sample("tpch", n=32, seed=1)
+        assert resp.status == 503
+        assert b"deadline" in resp.body
+        events = client.metrics_json()["events"]
+        assert events["render_deadline_exceeded"] >= 1
+
+
+def test_serve_render_fault_is_clean_500(tmp_path, tpch):
+    with _running_server(tmp_path / "models", tpch) as (srv, client):
+        with faults.injected("stream.write=error"):
+            resp = client.sample("tpch", n=10, seed=0)
+        assert resp.status == 500
+        assert b"injected" in resp.body
+        assert resp.json()["error"]  # JSON error doc, not a traceback
+
+
+# ----------------------------------------------------------------------
+# Client retry/backoff against a flaky stub server
+# ----------------------------------------------------------------------
+class _FlakyHandler(BaseHTTPRequestHandler):
+    """Scripted responses: each element is (status, headers, body) or
+    the string "reset" (drop the connection without answering)."""
+
+    script: list = []
+    attempts = 0
+
+    def do_GET(self):
+        self._step()
+
+    def do_POST(self):
+        self._step()
+
+    def _step(self):
+        cls = type(self)
+        step = cls.script[min(cls.attempts, len(cls.script) - 1)]
+        cls.attempts += 1
+        if step == "reset":
+            self.connection.shutdown(socket.SHUT_RDWR)
+            return
+        status, headers, body = step
+        self.send_response(status)
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt, *args):
+        pass
+
+
+@contextlib.contextmanager
+def _flaky_server(script):
+    handler = type("Handler", (_FlakyHandler,),
+                   {"script": script, "attempts": 0})
+    srv = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{srv.server_address[1]}", handler
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def test_client_retries_backpressure_honoring_retry_after():
+    script = [(429, {"Retry-After": "0"}, b"busy"),
+              (503, {}, b"still busy"),
+              (200, {}, b"payload")]
+    with _flaky_server(script) as (url, handler):
+        sleeps = []
+        client = ServeClient(url, retries=3, backoff=0.01,
+                             sleep=sleeps.append)
+        resp = client._request("GET", "/sample?model=m")
+        assert resp.status == 200
+        assert resp.body == b"payload"
+        assert handler.attempts == 3
+        # First wait obeyed Retry-After: 0; second used the backoff.
+        assert sleeps[0] == 0.0
+        assert sleeps[1] == pytest.approx(0.02)  # backoff * 2^1
+
+
+def test_client_retry_attempts_are_hard_capped():
+    with _flaky_server([(503, {}, b"down")]) as (url, handler):
+        client = ServeClient(url, retries=2, backoff=0.001,
+                             sleep=lambda s: None)
+        resp = client._request("GET", "/anything")
+        assert resp.status == 503  # last answer returned, not raised
+        assert handler.attempts == 3  # 1 try + 2 retries, no more
+
+
+def test_client_retries_connection_reset():
+    script = ["reset", (200, {}, b"recovered")]
+    with _flaky_server(script) as (url, handler):
+        client = ServeClient(url, retries=2, backoff=0.001,
+                             sleep=lambda s: None)
+        resp = client._request("GET", "/x")
+        assert resp.status == 200
+        assert resp.body == b"recovered"
+        assert handler.attempts == 2
+
+
+def test_client_never_retries_posts():
+    with _flaky_server([(503, {}, b"down")]) as (url, handler):
+        client = ServeClient(url, retries=5, backoff=0.001,
+                             sleep=lambda s: None)
+        resp = client._request("POST", "/models", body=b"{}",
+                               content_type="application/json")
+        assert resp.status == 503
+        assert handler.attempts == 1
+
+
+def test_client_exhausted_transport_retries_raise():
+    # A port with nothing listening: every attempt fails in transport.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    sleeps = []
+    client = ServeClient(f"http://127.0.0.1:{port}", retries=2,
+                         backoff=0.001, sleep=sleeps.append)
+    with pytest.raises(OSError):
+        client._request("GET", "/healthz")
+    assert len(sleeps) == 2  # slept between the 3 attempts
 
 
 def test_serve_cli_parser_wiring():
